@@ -1,0 +1,280 @@
+package transit
+
+// Benchmarks regenerating the paper's evaluation (see DESIGN.md §4 and
+// EXPERIMENTS.md). One benchmark per table and per ablation:
+//
+//	BenchmarkTable1OneToAll/<family>/CS-p<N>   — Table 1 rows (CS, 1–8 cores)
+//	BenchmarkTable1OneToAll/<family>/LC        — Table 1 LC baseline rows
+//	BenchmarkTable2StationToStation/<family>/<selection> — Table 2 rows
+//	BenchmarkAblation*                          — design-choice ablations
+//
+// The per-op metrics reported via b.ReportMetric mirror the paper's
+// columns: settled connections per query and (for parallel runs) the
+// critical-path work that determines achievable speed-up.
+
+import (
+	"fmt"
+	"testing"
+
+	"transit/internal/bench"
+	"transit/internal/core"
+	"transit/internal/timetable"
+)
+
+// benchScale keeps `go test -bench=.` under a few minutes on one core
+// while preserving the workload shape; cmd/tpbench -scale raises it.
+const benchScale = 0.12
+
+var benchNets = map[string]*bench.Network{}
+
+func benchNet(b *testing.B, family string) *bench.Network {
+	b.Helper()
+	if n, ok := benchNets[family]; ok {
+		return n
+	}
+	n, err := bench.Load(family, benchScale, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchNets[family] = n
+	return n
+}
+
+func benchSources(net *bench.Network, n int) []timetable.StationID {
+	out := make([]timetable.StationID, n)
+	for i := range out {
+		out[i] = timetable.StationID((i * 7919) % net.TT.NumStations())
+	}
+	return out
+}
+
+// BenchmarkTable1OneToAll regenerates Table 1: one-to-all profile queries
+// with the connection-setting algorithm on 1, 2, 4 and 8 threads, and the
+// label-correcting baseline.
+func BenchmarkTable1OneToAll(b *testing.B) {
+	for _, family := range bench.Families() {
+		b.Run(family, func(b *testing.B) {
+			net := benchNet(b, family)
+			sources := benchSources(net, 16)
+			for _, p := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("CS-p%d", p), func(b *testing.B) {
+					var settled, critical int64
+					for i := 0; i < b.N; i++ {
+						res, err := core.OneToAll(net.G, sources[i%len(sources)], core.Options{Threads: p})
+						if err != nil {
+							b.Fatal(err)
+						}
+						settled += res.Run.Total.SettledConns
+						critical += res.Run.MaxThreadSettled()
+					}
+					b.ReportMetric(float64(settled)/float64(b.N), "settled/op")
+					b.ReportMetric(float64(critical)/float64(b.N), "critical/op")
+				})
+			}
+			b.Run("LC", func(b *testing.B) {
+				var settled int64
+				for i := 0; i < b.N; i++ {
+					res, err := core.LabelCorrecting(net.G, sources[i%len(sources)], core.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					settled += res.Run.Total.SettledConns
+				}
+				b.ReportMetric(float64(settled)/float64(b.N), "settled/op")
+			})
+		})
+	}
+}
+
+// BenchmarkTable2StationToStation regenerates Table 2: station-to-station
+// profile queries with the stopping criterion and distance tables of
+// varying size.
+func BenchmarkTable2StationToStation(b *testing.B) {
+	for _, family := range bench.Families() {
+		b.Run(family, func(b *testing.B) {
+			net := benchNet(b, family)
+			sources := benchSources(net, 32)
+			for _, sel := range bench.PaperSelections(false) {
+				b.Run(selName(sel.Label), func(b *testing.B) {
+					env := core.QueryEnv{Graph: net.G}
+					if sel.Fraction > 0 || sel.MinDegree > 0 {
+						var marked []bool
+						if sel.MinDegree > 0 {
+							marked = net.SG.SelectByDegree(sel.MinDegree)
+						} else {
+							keep := int(float64(net.TT.NumStations()) * sel.Fraction)
+							if keep < 1 {
+								keep = 1
+							}
+							marked = net.SG.SelectByContraction(keep)
+						}
+						pre, err := core.BuildDistanceTable(net.G, marked, core.Options{}, 1)
+						if err != nil {
+							b.Fatal(err)
+						}
+						env.StationGraph = net.SG
+						env.Table = pre.Table
+					}
+					b.ResetTimer()
+					var settled int64
+					for i := 0; i < b.N; i++ {
+						src := sources[i%len(sources)]
+						dst := sources[(i+5)%len(sources)]
+						if src == dst {
+							dst = timetable.StationID((int(dst) + 1) % net.TT.NumStations())
+						}
+						res, err := core.StationToStation(env, src, dst, core.QueryOptions{})
+						if err != nil {
+							b.Fatal(err)
+						}
+						settled += res.Run.Total.SettledConns
+					}
+					b.ReportMetric(float64(settled)/float64(b.N), "settled/op")
+				})
+			}
+		})
+	}
+}
+
+func selName(label string) string {
+	switch label {
+	case "deg > 2":
+		return "deg2"
+	default:
+		return "frac" + label
+	}
+}
+
+// BenchmarkAblationSelfPruning quantifies Theorem 1 (self-pruning) on the
+// one-to-all workload.
+func BenchmarkAblationSelfPruning(b *testing.B) {
+	net := benchNet(b, "oahu")
+	sources := benchSources(net, 16)
+	for _, disable := range []bool{false, true} {
+		name := "on"
+		if disable {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var settled int64
+			for i := 0; i < b.N; i++ {
+				res, err := core.OneToAll(net.G, sources[i%len(sources)], core.Options{DisableSelfPruning: disable})
+				if err != nil {
+					b.Fatal(err)
+				}
+				settled += res.Run.Total.SettledConns
+			}
+			b.ReportMetric(float64(settled)/float64(b.N), "settled/op")
+		})
+	}
+}
+
+// BenchmarkAblationPartition compares the partition strategies of
+// Section 3.2 at 4 threads.
+func BenchmarkAblationPartition(b *testing.B) {
+	net := benchNet(b, "losangeles")
+	sources := benchSources(net, 16)
+	for _, strat := range []core.PartitionStrategy{core.EqualConnections, core.EqualTimeSlots, core.KMeans} {
+		b.Run(strat.String(), func(b *testing.B) {
+			var critical int64
+			for i := 0; i < b.N; i++ {
+				res, err := core.OneToAll(net.G, sources[i%len(sources)], core.Options{Threads: 4, Partition: strat})
+				if err != nil {
+					b.Fatal(err)
+				}
+				critical += res.Run.MaxThreadSettled()
+			}
+			b.ReportMetric(float64(critical)/float64(b.N), "critical/op")
+		})
+	}
+}
+
+// BenchmarkAblationHeap compares the paper's binary heap with a 4-ary heap.
+func BenchmarkAblationHeap(b *testing.B) {
+	net := benchNet(b, "washington")
+	sources := benchSources(net, 16)
+	for _, arity := range []int{2, 4} {
+		b.Run(fmt.Sprintf("%d-ary", arity), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.OneToAll(net.G, sources[i%len(sources)], core.Options{HeapArity: arity}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStopping quantifies Theorem 2 on station-to-station
+// queries without distance tables.
+func BenchmarkAblationStopping(b *testing.B) {
+	net := benchNet(b, "germany")
+	sources := benchSources(net, 32)
+	env := core.QueryEnv{Graph: net.G}
+	for _, disable := range []bool{false, true} {
+		name := "on"
+		if disable {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var settled int64
+			for i := 0; i < b.N; i++ {
+				src := sources[i%len(sources)]
+				dst := sources[(i+9)%len(sources)]
+				if src == dst {
+					dst = timetable.StationID((int(dst) + 1) % net.TT.NumStations())
+				}
+				res, err := core.StationToStation(env, src, dst, core.QueryOptions{DisableStoppingCriterion: disable})
+				if err != nil {
+					b.Fatal(err)
+				}
+				settled += res.Run.Total.SettledConns
+			}
+			b.ReportMetric(float64(settled)/float64(b.N), "settled/op")
+		})
+	}
+}
+
+// BenchmarkPublicAPIQuery measures the end-to-end public API path.
+func BenchmarkPublicAPIQuery(b *testing.B) {
+	n, err := Generate("oahu", benchScale, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("EarliestArrival", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := n.EarliestArrival(0, StationID(1+i%(n.NumStations()-1)), 480, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Profile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := n.Profile(0, StationID(1+i%(n.NumStations()-1)), Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBaselineCSA measures the Connection Scan reference on the same
+// time-query workload as the graph-based search, for the modern-baseline
+// comparison in EXPERIMENTS.md.
+func BenchmarkBaselineCSA(b *testing.B) {
+	net := benchNet(b, "oahu")
+	sched := core.NewConnectionScan(net.TT)
+	sources := benchSources(net, 16)
+	b.Run("csa", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sched.Query(sources[i%len(sources)], 480, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("td-dijkstra", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.TimeQuery(net.G, sources[i%len(sources)], 480, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,139 @@
+// Command tpquery answers queries against a timetable file.
+//
+// Usage:
+//
+//	tpquery -net la.tt -from "losangeles-3-4" -to "losangeles-10-2" -at 08:15
+//	tpquery -net la.tt -from 12 -to 80 -profile
+//	tpquery -net la.tt -gtfs feed/ -from 12 -to 80 -profile -threads 4
+//
+// Stations may be given by name or numeric ID. Without -profile the tool
+// prints the earliest arrival for the departure time -at; with -profile it
+// prints every relevant connection of the day.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"transit"
+)
+
+func main() {
+	netFile := flag.String("net", "", "timetable file (library text format)")
+	gtfsDir := flag.String("gtfs", "", "GTFS feed directory (alternative to -net)")
+	from := flag.String("from", "", "source station (name or ID)")
+	to := flag.String("to", "", "target station (name or ID)")
+	at := flag.String("at", "08:00", "departure time HH:MM for time queries")
+	profile := flag.Bool("profile", false, "compute the full daily profile instead of one arrival")
+	threads := flag.Int("threads", 1, "parallel worker goroutines for profile queries")
+	preprocess := flag.Float64("preprocess", 0, "transfer-station fraction for distance-table pruning (0 = off)")
+	journeys := flag.Bool("journeys", false, "print the itinerary for the chosen departure (one-to-all search)")
+	flag.Parse()
+
+	n, err := loadNetwork(*netFile, *gtfsDir)
+	if err != nil {
+		fail(err)
+	}
+	src, err := station(n, *from)
+	if err != nil {
+		fail(err)
+	}
+	dst, err := station(n, *to)
+	if err != nil {
+		fail(err)
+	}
+	dep, err := transit.ParseClock(*at)
+	if err != nil {
+		fail(err)
+	}
+	opt := transit.Options{Threads: *threads}
+
+	if *preprocess > 0 {
+		var ps *transit.PreprocessStats
+		n, ps, err = n.Preprocess(transit.TransferSelection{Fraction: *preprocess}, opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "preprocessed %d transfer stations in %v (%.1f MiB)\n",
+			ps.TransferStations, ps.Elapsed, float64(ps.TableBytes)/(1<<20))
+	}
+
+	switch {
+	case *journeys:
+		opt.TrackJourneys = true
+		all, err := n.ProfileAll(src, opt)
+		if err != nil {
+			fail(err)
+		}
+		j, err := all.Journey(dst, dep)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s → %s, departing after %s (%d transfers):\n",
+			n.Station(src).Name, n.Station(dst).Name, n.FormatClock(dep), j.Transfers())
+		for _, l := range j.Legs {
+			fmt.Printf("  %-24s %s %s → %s %s (%d stops)\n",
+				l.Train, l.FromName, n.FormatClock(l.Departure), l.ToName, n.FormatClock(l.Arrival), l.Stops)
+		}
+	case *profile:
+		p, st, err := n.Profile(src, dst, opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s → %s: %d relevant connections (settled %d labels in %v)\n",
+			n.Station(src).Name, n.Station(dst).Name, len(p.Connections()), st.SettledConnections, st.Elapsed)
+		for _, c := range p.Connections() {
+			fmt.Printf("  dep %s  arr %s  (%d min)\n",
+				n.FormatClock(c.Departure), n.FormatClock(c.Arrival), c.Arrival-c.Departure)
+		}
+	default:
+		arr, err := n.EarliestArrival(src, dst, dep, opt)
+		if err != nil {
+			fail(err)
+		}
+		if arr.IsInf() {
+			fmt.Printf("%s → %s: unreachable\n", n.Station(src).Name, n.Station(dst).Name)
+			return
+		}
+		fmt.Printf("%s → %s: depart %s, arrive %s (%d min)\n",
+			n.Station(src).Name, n.Station(dst).Name, n.FormatClock(dep), n.FormatClock(arr), arr-dep)
+	}
+}
+
+func loadNetwork(netFile, gtfsDir string) (*transit.Network, error) {
+	switch {
+	case netFile != "" && gtfsDir != "":
+		return nil, fmt.Errorf("tpquery: -net and -gtfs are mutually exclusive")
+	case netFile != "":
+		f, err := os.Open(netFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return transit.ReadNetwork(f)
+	case gtfsDir != "":
+		return transit.LoadGTFS(gtfsDir)
+	default:
+		return nil, fmt.Errorf("tpquery: one of -net or -gtfs is required")
+	}
+}
+
+func station(n *transit.Network, s string) (transit.StationID, error) {
+	if s == "" {
+		return 0, fmt.Errorf("tpquery: -from and -to are required")
+	}
+	if id, ok := n.StationByName(s); ok {
+		return id, nil
+	}
+	if v, err := strconv.Atoi(s); err == nil && v >= 0 && v < n.NumStations() {
+		return transit.StationID(v), nil
+	}
+	return 0, fmt.Errorf("tpquery: unknown station %q", s)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"transit"
+)
+
+func tmpNetworkFile(t *testing.T) string {
+	t.Helper()
+	n, err := transit.Generate("oahu", 0.05, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "net.tt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := n.WriteTimetable(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadNetwork(t *testing.T) {
+	path := tmpNetworkFile(t)
+	n, err := loadNetwork(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumStations() == 0 {
+		t.Fatal("empty network")
+	}
+	if _, err := loadNetwork("", ""); err == nil {
+		t.Fatal("missing source accepted")
+	}
+	if _, err := loadNetwork(path, "dir"); err == nil {
+		t.Fatal("both sources accepted")
+	}
+	if _, err := loadNetwork("/no/such/file", ""); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := loadNetwork("", t.TempDir()); err == nil {
+		t.Fatal("empty GTFS dir accepted")
+	}
+}
+
+func TestStationLookup(t *testing.T) {
+	path := tmpNetworkFile(t)
+	n, err := loadNetwork(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// By numeric ID.
+	id, err := station(n, "3")
+	if err != nil || id != 3 {
+		t.Fatalf("by ID: %d, %v", id, err)
+	}
+	// By name.
+	name := n.Station(5).Name
+	id, err = station(n, name)
+	if err != nil || id != 5 {
+		t.Fatalf("by name: %d, %v", id, err)
+	}
+	// Errors.
+	if _, err := station(n, ""); err == nil {
+		t.Fatal("empty station accepted")
+	}
+	if _, err := station(n, "99999"); err == nil {
+		t.Fatal("out-of-range ID accepted")
+	}
+	if _, err := station(n, "not a station"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}

@@ -1,0 +1,222 @@
+// Command tpserver exposes a network as a JSON-over-HTTP travel-information
+// service — the deployment shape the paper's query times target (sub-120 ms
+// station-to-station answers for interactive timetable information).
+//
+//	tpserver -net la.tt -preprocess 0.05 -listen :8080
+//
+// Endpoints:
+//
+//	GET /stations                         list stations
+//	GET /arrival?from=ID&to=ID&at=HH:MM   earliest arrival
+//	GET /profile?from=ID&to=ID            all best connections of the day
+//	GET /journey?from=ID&to=ID&at=HH:MM   itinerary with legs
+//	GET /healthz                          liveness
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+
+	"transit"
+)
+
+type server struct {
+	net     *transit.Network
+	threads int
+}
+
+func main() {
+	netFile := flag.String("net", "", "timetable file (library text format)")
+	gtfsDir := flag.String("gtfs", "", "GTFS feed directory")
+	family := flag.String("generate", "", "serve a synthetic family instead of a file")
+	scale := flag.Float64("scale", 0.25, "scale for -generate")
+	preprocess := flag.Float64("preprocess", 0.05, "transfer-station fraction (0 = no distance table)")
+	threads := flag.Int("threads", 1, "parallel workers per query")
+	listen := flag.String("listen", ":8080", "listen address")
+	flag.Parse()
+
+	n, err := load(*netFile, *gtfsDir, *family, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded network: %s", n.Stats())
+	if *preprocess > 0 {
+		var ps *transit.PreprocessStats
+		n, ps, err = n.Preprocess(transit.TransferSelection{Fraction: *preprocess}, transit.Options{Threads: *threads})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("preprocessed %d transfer stations in %v (%.1f MiB)",
+			ps.TransferStations, ps.Elapsed, float64(ps.TableBytes)/(1<<20))
+	}
+	s := &server{net: n, threads: *threads}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /stations", s.stations)
+	mux.HandleFunc("GET /arrival", s.arrival)
+	mux.HandleFunc("GET /profile", s.profile)
+	mux.HandleFunc("GET /journey", s.journey)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	log.Printf("listening on %s", *listen)
+	log.Fatal(http.ListenAndServe(*listen, mux))
+}
+
+func load(netFile, gtfsDir, family string, scale float64) (*transit.Network, error) {
+	switch {
+	case netFile != "":
+		f, err := os.Open(netFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return transit.ReadNetwork(f)
+	case gtfsDir != "":
+		return transit.LoadGTFS(gtfsDir)
+	case family != "":
+		return transit.Generate(family, scale, 0)
+	default:
+		return nil, fmt.Errorf("tpserver: one of -net, -gtfs, -generate is required")
+	}
+}
+
+type stationJSON struct {
+	ID       int     `json:"id"`
+	Name     string  `json:"name"`
+	Transfer int     `json:"transfer_min"`
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+}
+
+func (s *server) stations(w http.ResponseWriter, r *http.Request) {
+	out := make([]stationJSON, s.net.NumStations())
+	for i := range out {
+		st := s.net.Station(transit.StationID(i))
+		out[i] = stationJSON{ID: int(st.ID), Name: st.Name, Transfer: int(st.Transfer), X: st.X, Y: st.Y}
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) parsePair(r *http.Request) (from, to transit.StationID, err error) {
+	f, err1 := strconv.Atoi(r.URL.Query().Get("from"))
+	t, err2 := strconv.Atoi(r.URL.Query().Get("to"))
+	if err1 != nil || err2 != nil || f < 0 || t < 0 || f >= s.net.NumStations() || t >= s.net.NumStations() {
+		return 0, 0, fmt.Errorf("invalid from/to")
+	}
+	return transit.StationID(f), transit.StationID(t), nil
+}
+
+func (s *server) arrival(w http.ResponseWriter, r *http.Request) {
+	from, to, err := s.parsePair(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	dep, err := transit.ParseClock(r.URL.Query().Get("at"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	arr, err := s.net.EarliestArrival(from, to, dep, transit.Options{Threads: s.threads})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := map[string]any{"from": from, "to": to, "depart": s.net.FormatClock(dep)}
+	if arr.IsInf() {
+		resp["reachable"] = false
+	} else {
+		resp["reachable"] = true
+		resp["arrive"] = s.net.FormatClock(arr)
+		resp["minutes"] = int(arr - dep)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) profile(w http.ResponseWriter, r *http.Request) {
+	from, to, err := s.parsePair(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	p, st, err := s.net.Profile(from, to, transit.Options{Threads: s.threads})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	type connJSON struct {
+		Depart  string `json:"depart"`
+		Arrive  string `json:"arrive"`
+		Minutes int    `json:"minutes"`
+	}
+	conns := p.Connections()
+	out := struct {
+		From        transit.StationID `json:"from"`
+		To          transit.StationID `json:"to"`
+		Connections []connJSON        `json:"connections"`
+		QueryMS     float64           `json:"query_ms"`
+	}{From: from, To: to, QueryMS: float64(st.Elapsed.Microseconds()) / 1000}
+	for _, c := range conns {
+		out.Connections = append(out.Connections, connJSON{
+			Depart:  s.net.FormatClock(c.Departure),
+			Arrive:  s.net.FormatClock(c.Arrival),
+			Minutes: int(c.Arrival - c.Departure),
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) journey(w http.ResponseWriter, r *http.Request) {
+	from, to, err := s.parsePair(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	dep, err := transit.ParseClock(r.URL.Query().Get("at"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	all, err := s.net.ProfileAll(from, transit.Options{Threads: s.threads, TrackJourneys: true})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	j, err := all.Journey(to, dep)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	type legJSON struct {
+		Train  string `json:"train"`
+		From   string `json:"from"`
+		Depart string `json:"depart"`
+		To     string `json:"to"`
+		Arrive string `json:"arrive"`
+		Stops  int    `json:"stops"`
+	}
+	out := struct {
+		Transfers int       `json:"transfers"`
+		Legs      []legJSON `json:"legs"`
+	}{Transfers: j.Transfers()}
+	for _, l := range j.Legs {
+		out.Legs = append(out.Legs, legJSON{
+			Train: l.Train, From: l.FromName, Depart: s.net.FormatClock(l.Departure),
+			To: l.ToName, Arrive: s.net.FormatClock(l.Arrival), Stops: l.Stops,
+		})
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("tpserver: encode: %v", err)
+	}
+}

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"transit"
+)
+
+func testServer(t *testing.T) (*server, *http.ServeMux) {
+	t.Helper()
+	n, err := transit.Generate("oahu", 0.06, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{net: n, threads: 1}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /stations", s.stations)
+	mux.HandleFunc("GET /arrival", s.arrival)
+	mux.HandleFunc("GET /profile", s.profile)
+	mux.HandleFunc("GET /journey", s.journey)
+	return s, mux
+}
+
+func get(t *testing.T, mux *http.ServeMux, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestStationsEndpoint(t *testing.T) {
+	s, mux := testServer(t)
+	rec := get(t, mux, "/stations")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var out []stationJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != s.net.NumStations() {
+		t.Fatalf("stations = %d, want %d", len(out), s.net.NumStations())
+	}
+	if out[0].ID != 0 || out[0].Name == "" {
+		t.Fatalf("station 0 malformed: %+v", out[0])
+	}
+}
+
+func TestArrivalEndpoint(t *testing.T) {
+	_, mux := testServer(t)
+	rec := get(t, mux, "/arrival?from=0&to=5&at=08:15")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["reachable"] != true {
+		t.Fatalf("response: %v", out)
+	}
+	if _, ok := out["arrive"].(string); !ok {
+		t.Fatalf("no arrive field: %v", out)
+	}
+	// Bad inputs.
+	for _, url := range []string{
+		"/arrival?from=0&to=5",              // missing at
+		"/arrival?from=0&to=99999&at=08:00", // bad station
+		"/arrival?from=x&to=5&at=08:00",     // non-numeric
+		"/arrival?from=0&to=5&at=27:99",     // bad time
+	} {
+		if rec := get(t, mux, url); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, rec.Code)
+		}
+	}
+}
+
+func TestProfileEndpoint(t *testing.T) {
+	_, mux := testServer(t)
+	rec := get(t, mux, "/profile?from=0&to=7")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Connections []struct {
+			Depart  string `json:"depart"`
+			Arrive  string `json:"arrive"`
+			Minutes int    `json:"minutes"`
+		} `json:"connections"`
+		QueryMS float64 `json:"query_ms"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Connections) == 0 {
+		t.Fatal("no connections returned")
+	}
+	for _, c := range out.Connections {
+		if c.Minutes <= 0 || c.Depart == "" || c.Arrive == "" {
+			t.Fatalf("malformed connection: %+v", c)
+		}
+	}
+}
+
+func TestJourneyEndpoint(t *testing.T) {
+	_, mux := testServer(t)
+	rec := get(t, mux, "/journey?from=0&to=7&at=08:00")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Transfers int `json:"transfers"`
+		Legs      []struct {
+			Train  string `json:"train"`
+			From   string `json:"from"`
+			To     string `json:"to"`
+			Depart string `json:"depart"`
+			Arrive string `json:"arrive"`
+		} `json:"legs"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Legs) == 0 || out.Transfers != len(out.Legs)-1 {
+		t.Fatalf("journey malformed: %+v", out)
+	}
+}
+
+func TestLoadValidation(t *testing.T) {
+	if _, err := load("", "", "", 0); err == nil {
+		t.Fatal("empty source spec accepted")
+	}
+	if _, err := load("", "", "oahu", 0.05); err != nil {
+		t.Fatalf("generate source failed: %v", err)
+	}
+	if _, err := load("/nonexistent/file.tt", "", "", 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestArrivalUnreachable(t *testing.T) {
+	// A two-station builder network where B never connects back to A.
+	tb := transit.NewTimetableBuilder(0)
+	a := tb.AddStation("A", 1)
+	bb := tb.AddStation("B", 1)
+	if err := tb.AddTrain("t", []transit.StationID{a, bb}, 480, []transit.Ticks{10}, 0); err != nil {
+		t.Fatal(err)
+	}
+	n, err := tb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{net: n, threads: 1}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /arrival", s.arrival)
+	rec := get(t, mux, fmt.Sprintf("/arrival?from=%d&to=%d&at=08:00", bb, a))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["reachable"] != false {
+		t.Fatalf("unreachable pair reported reachable: %v", out)
+	}
+}

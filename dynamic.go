@@ -1,0 +1,145 @@
+package transit
+
+import (
+	"fmt"
+
+	"transit/internal/timetable"
+	"transit/internal/timeutil"
+)
+
+// ConnectionInfo is the public view of one elementary connection, used by
+// the dynamic-update API and network inspection.
+type ConnectionInfo struct {
+	Train string
+	// Route is the route class index of the train (trains with identical
+	// station sequences share a route).
+	Route int
+	From  StationID
+	To    StationID
+	Dep   Ticks // departure time point within the period
+	Arr   Ticks // absolute arrival time (≥ Dep; may exceed the period)
+}
+
+// Connections lists all elementary connections of the network.
+func (n *Network) Connections() []ConnectionInfo {
+	out := make([]ConnectionInfo, len(n.tt.Connections))
+	for i, c := range n.tt.Connections {
+		out[i] = n.connInfo(c)
+	}
+	return out
+}
+
+func (n *Network) connInfo(c timetable.Connection) ConnectionInfo {
+	return ConnectionInfo{
+		Train: n.tt.Trains[c.Train].Name,
+		Route: int(n.tt.RouteOf(c.Train)),
+		From:  c.From,
+		To:    c.To,
+		Dep:   c.Dep,
+		Arr:   c.Arr,
+	}
+}
+
+// Departures lists the outgoing connections of a station in departure
+// order — the set conn(S) that bounds the profile complexity.
+func (n *Network) Departures(s StationID) ([]ConnectionInfo, error) {
+	if err := n.checkStation(s); err != nil {
+		return nil, err
+	}
+	ids := n.tt.Outgoing(s)
+	out := make([]ConnectionInfo, len(ids))
+	for i, id := range ids {
+		out[i] = n.connInfo(n.tt.Connections[id])
+	}
+	return out, nil
+}
+
+// ApplyDelays returns a new Network in which every connection accepted by
+// the filter is shifted delta ticks later (negative delta means earlier;
+// the result is re-validated). This is the fully dynamic scenario the
+// paper's conclusion targets: the profile search needs no preprocessing, so
+// delayed trains only require rebuilding the (cheap) query structures.
+//
+// The filter decides per *train*: if any connection of a train matches, the
+// whole train is shifted, keeping its internal schedule consistent.
+func (n *Network) ApplyDelays(delta Ticks, filter func(ConnectionInfo) bool) (*Network, int, error) {
+	affected := make(map[timetable.TrainID]bool)
+	for _, c := range n.tt.Connections {
+		if filter(n.connInfo(c)) {
+			affected[c.Train] = true
+		}
+	}
+	conns := make([]timetable.Connection, len(n.tt.Connections))
+	copy(conns, n.tt.Connections)
+	shifted := 0
+	for i := range conns {
+		if !affected[conns[i].Train] {
+			continue
+		}
+		dep := conns[i].Dep + delta
+		dur := conns[i].Arr - conns[i].Dep
+		dep = n.tt.Period.Wrap(dep)
+		conns[i].Dep = dep
+		conns[i].Arr = dep + dur
+		shifted++
+	}
+	stations := make([]timetable.Station, len(n.tt.Stations))
+	copy(stations, n.tt.Stations)
+	trains := make([]timetable.Train, len(n.tt.Trains))
+	copy(trains, n.tt.Trains)
+	footpaths := make([]timetable.Footpath, len(n.tt.Footpaths))
+	copy(footpaths, n.tt.Footpaths)
+	tt, err := timetable.NewWithFootpaths(n.tt.Period, stations, trains, conns, footpaths)
+	if err != nil {
+		return nil, 0, fmt.Errorf("transit: delayed timetable invalid: %w", err)
+	}
+	return NewNetwork(tt), shifted, nil
+}
+
+// TimetableBuilder assembles a custom network programmatically through the
+// public API. Times are in minutes of a 1440-minute day unless a different
+// period is given.
+type TimetableBuilder struct {
+	b *timetable.Builder
+}
+
+// NewTimetableBuilder returns a builder over a period of the given length
+// (0 means the 1440-minute day).
+func NewTimetableBuilder(period Ticks) *TimetableBuilder {
+	if period <= 0 {
+		period = timeutil.DayMinutes
+	}
+	return &TimetableBuilder{b: timetable.NewBuilder(timeutil.NewPeriod(period))}
+}
+
+// AddStation adds a station with the given minimum transfer time and
+// returns its ID.
+func (tb *TimetableBuilder) AddStation(name string, transfer Ticks) StationID {
+	return tb.b.AddStation(name, transfer)
+}
+
+// AddTrain adds a train serving the given stations in order: it departs the
+// first station at dep, hop i takes hops[i] ticks, and the train waits
+// dwell ticks at intermediate stops.
+func (tb *TimetableBuilder) AddTrain(name string, stations []StationID, dep Ticks, hops []Ticks, dwell Ticks) error {
+	if len(hops) != len(stations)-1 {
+		return fmt.Errorf("transit: %d stations need %d hop times, got %d", len(stations), len(stations)-1, len(hops))
+	}
+	tb.b.AddTrainRun(name, stations, dep, hops, dwell)
+	return nil
+}
+
+// AddFootpath adds a directed walking link: arriving at from at time t one
+// reaches to at t + walk, at any time of day.
+func (tb *TimetableBuilder) AddFootpath(from, to StationID, walk Ticks) {
+	tb.b.AddFootpath(from, to, walk)
+}
+
+// Build validates the timetable and returns the query-ready Network.
+func (tb *TimetableBuilder) Build() (*Network, error) {
+	tt, err := tb.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return NewNetwork(tt), nil
+}

@@ -1,0 +1,88 @@
+// Delays: the fully dynamic scenario the paper's conclusion points at
+// (Müller-Hannemann et al. [20]). Because the one-to-all profile search
+// needs *no preprocessing*, a delayed train simply means: apply the delay,
+// rebuild the cheap query structures, query again — fast enough for
+// on-line use after every delay message.
+//
+// The example delays all morning trips of one route by 20 minutes and
+// diffs the resulting arrivals against the original timetable.
+//
+//	go run ./examples/delays
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"transit"
+)
+
+func main() {
+	net, err := transit.Generate("washington", 0.2, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("network:", net.Stats())
+
+	src := transit.StationID(1)
+	dst := transit.StationID(net.NumStations() - 2)
+
+	before, _, err := net.Profile(src, dst, transit.Options{Threads: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick the route with the most morning departures out of src and
+	// delay its 07:00–10:00 trips by 20 minutes.
+	route := busiestMorningRoute(net, src)
+	start := time.Now()
+	updated, shifted, err := net.ApplyDelays(20, func(c transit.ConnectionInfo) bool {
+		return c.Route == route && c.Dep >= 420 && c.Dep <= 600
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rebuild := time.Since(start)
+
+	after, stats, err := updated.Profile(src, dst, transit.Options{Threads: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndelayed %d connections; applied + rebuilt in %v, re-query in %v\n",
+		shifted, rebuild, stats.Elapsed)
+
+	fmt.Printf("\n%-12s %-16s %-16s\n", "depart", "arrive (before)", "arrive (after)")
+	for _, at := range []string{"07:00", "07:45", "08:30", "09:15", "12:00"} {
+		dep, _ := transit.ParseClock(at)
+		b := before.EarliestArrival(dep)
+		a := after.EarliestArrival(dep)
+		mark := ""
+		if a != b {
+			mark = fmt.Sprintf("  ← %+d min", a-b)
+		}
+		fmt.Printf("%-12s %-16s %-16s%s\n", at, net.FormatClock(b), net.FormatClock(a), mark)
+	}
+}
+
+// busiestMorningRoute returns the route class with the most 07:00–10:00
+// departures from src.
+func busiestMorningRoute(net *transit.Network, src transit.StationID) int {
+	deps, err := net.Departures(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, c := range deps {
+		if c.Dep >= 420 && c.Dep <= 600 {
+			counts[c.Route]++
+		}
+	}
+	best, bestN := 0, -1
+	for r, n := range counts {
+		if n > bestN {
+			best, bestN = r, n
+		}
+	}
+	return best
+}

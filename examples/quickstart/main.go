@@ -1,0 +1,70 @@
+// Quickstart: generate a small city network, ask for the earliest arrival,
+// the full daily profile, and a concrete itinerary between two stations.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"transit"
+)
+
+func main() {
+	// A small synthetic city bus network (structural analogue of the
+	// paper's Oahu input; see DESIGN.md). Real data loads with
+	// transit.LoadGTFS("feed/") or transit.ReadNetwork(file).
+	net, err := transit.Generate("oahu", 0.15, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("network:", net.Stats())
+
+	src := transit.StationID(0)
+	dst := transit.StationID(net.NumStations() / 2)
+	fmt.Printf("\nfrom %q to %q\n", net.Station(src).Name, net.Station(dst).Name)
+
+	// 1. A plain time-query: depart at 08:15, when do we arrive?
+	dep, _ := transit.ParseClock("08:15")
+	arr, err := net.EarliestArrival(src, dst, dep, transit.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("depart %s → arrive %s (%d min)\n",
+		net.FormatClock(dep), net.FormatClock(arr), arr-dep)
+
+	// 2. The full profile: every relevant connection of the day in one
+	// query (the paper's core contribution), computed in parallel.
+	profile, stats, err := net.Profile(src, dst, transit.Options{Threads: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	conns := profile.Connections()
+	fmt.Printf("\n%d relevant connections today (settled %d labels in %v):\n",
+		len(conns), stats.SettledConnections, stats.Elapsed)
+	for i, c := range conns {
+		if i >= 5 {
+			fmt.Printf("  … and %d more\n", len(conns)-5)
+			break
+		}
+		fmt.Printf("  dep %s  arr %s  (%d min)\n",
+			net.FormatClock(c.Departure), net.FormatClock(c.Arrival), c.Arrival-c.Departure)
+	}
+
+	// 3. A concrete itinerary with trains and transfers.
+	all, err := net.ProfileAll(src, transit.Options{TrackJourneys: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	journey, err := all.Journey(dst, dep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nitinerary (%d transfers):\n", journey.Transfers())
+	for _, leg := range journey.Legs {
+		fmt.Printf("  %-28s %s %s → %s %s\n",
+			leg.Train, leg.FromName, net.FormatClock(leg.Departure),
+			leg.ToName, net.FormatClock(leg.Arrival))
+	}
+}

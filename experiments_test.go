@@ -1,0 +1,206 @@
+package transit
+
+// Shape assertions for the paper's evaluation: each qualitative claim of
+// Section 5 (who wins, by roughly what factor, where behaviour degrades)
+// is checked against the regenerated tables. Absolute numbers differ from
+// the paper — the networks are scaled-down synthetic analogues and the
+// host differs — but these shapes are what the paper's conclusions rest
+// on. EXPERIMENTS.md records the measured values side by side with the
+// paper's.
+
+import (
+	"testing"
+
+	"transit/internal/bench"
+)
+
+const expScale = 0.12
+
+func expNet(t *testing.T, family string) *bench.Network {
+	t.Helper()
+	net, err := bench.Load(family, expScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// Table 1, claim 1: connection-setting clearly outperforms label-correcting
+// in settled connections (paper: 6–15× depending on network).
+func TestShapeT1CSBeatsLC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests run the full harness")
+	}
+	for _, family := range []string{"oahu", "germany"} {
+		net := expNet(t, family)
+		rows, err := bench.Table1(net, []int{1}, 6, 1, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, lc := rows[0], rows[1]
+		if lc.Algo != "LC" {
+			t.Fatal("row order changed")
+		}
+		ratio := lc.MeanSettled / cs.MeanSettled
+		if ratio < 3 {
+			t.Errorf("%s: LC/CS settled ratio %.1f, want ≥3 (paper: 6–15)", family, ratio)
+		}
+		t.Logf("%s: CS %.0f vs LC %.0f settled (ratio %.1f)", family, cs.MeanSettled, lc.MeanSettled, ratio)
+	}
+}
+
+// Table 1, claim 2: parallelization costs little extra work (paper: ≈10–20%
+// more settled connections at p=8, worse only on sparse Europe), and the
+// critical-path (ideal) speed-up grows with p: ≈1.9 / 3 / 4.6 measured on
+// real 8-core hardware, which work-based speed-up upper-bounds.
+func TestShapeT1Scalability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests run the full harness")
+	}
+	growth := map[string]float64{}
+	for _, family := range []string{"oahu", "europe"} {
+		net := expNet(t, family)
+		rows, err := bench.Table1(net, []int{1, 2, 4, 8}, 6, 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p1 := rows[0]
+		prevIdeal := 0.0
+		for _, r := range rows {
+			if r.IdealSpeedUp < prevIdeal-0.2 {
+				t.Errorf("%s: ideal speed-up not monotone: %v", family, rows)
+			}
+			prevIdeal = r.IdealSpeedUp
+		}
+		p8 := rows[3]
+		g := p8.MeanSettled / p1.MeanSettled
+		growth[family] = g
+		if g < 0.99 {
+			t.Errorf("%s: parallel run settled less than sequential (%.2f)", family, g)
+		}
+		if g > 2.0 {
+			t.Errorf("%s: work grew %.2f× at p=8, want moderate growth", family, g)
+		}
+		if rows[1].IdealSpeedUp < 1.5 || rows[2].IdealSpeedUp < 2.2 || p8.IdealSpeedUp < 3.0 {
+			t.Errorf("%s: ideal speed-ups too low: p2=%.1f p4=%.1f p8=%.1f",
+				family, rows[1].IdealSpeedUp, rows[2].IdealSpeedUp, p8.IdealSpeedUp)
+		}
+		t.Logf("%s: work growth %.2f, ideal speed-ups %.1f/%.1f/%.1f",
+			family, g, rows[1].IdealSpeedUp, rows[2].IdealSpeedUp, p8.IdealSpeedUp)
+	}
+	// Sparse rail loses more self-pruning across threads than dense bus
+	// (the paper's Europe observation). Allow generous slack for noise.
+	if growth["europe"] < growth["oahu"]-0.05 {
+		t.Errorf("europe work growth (%.2f) expected ≥ oahu (%.2f)", growth["europe"], growth["oahu"])
+	}
+}
+
+// Table 2, claim 1: the stopping criterion alone reduces work on
+// station-to-station queries (paper: ≈20%).
+func TestShapeT2StoppingCriterion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests run the full harness")
+	}
+	net := expNet(t, "washington")
+	rows, err := bench.AblationStopping(net, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, off := rows[0], rows[1]
+	if on.MeanSettled >= off.MeanSettled {
+		t.Errorf("stopping criterion did not reduce work: %.0f vs %.0f", on.MeanSettled, off.MeanSettled)
+	}
+	t.Logf("stopping criterion: %.0f vs %.0f settled (%.0f%%)",
+		on.MeanSettled, off.MeanSettled, 100*on.MeanSettled/off.MeanSettled)
+}
+
+// Table 2, claim 2: distance tables accelerate queries, with diminishing
+// returns — tiny tables hardly help, larger selections give real speed-ups,
+// preprocessing cost grows with the selection.
+func TestShapeT2DistanceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests run the full harness")
+	}
+	// Rail shows separation already at moderate size; bus needs larger
+	// scale for the same effect (see EXPERIMENTS.md), so assert on rail
+	// at the default experiment scale plus the larger oahu check below.
+	net := expNet(t, "germany")
+	sels := []bench.Selection{
+		{Label: "0.0%"},
+		{Label: "5.0%", Fraction: 0.05},
+		{Label: "20.0%", Fraction: 0.20},
+		{Label: "deg > 2", MinDegree: 2},
+	}
+	rows, err := bench.Table2(net, sels, 10, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, five, twenty, deg := rows[0], rows[1], rows[2], rows[3]
+	if base.SpeedUp != 1 {
+		t.Fatal("baseline speed-up must be 1")
+	}
+	if twenty.SpeedUp < 1.1 {
+		t.Errorf("20%% table speed-up %.2f, want > 1.1", twenty.SpeedUp)
+	}
+	if twenty.SpeedUp < five.SpeedUp-0.1 {
+		t.Errorf("speed-up shrank with larger table: 5%%=%.2f 20%%=%.2f", five.SpeedUp, twenty.SpeedUp)
+	}
+	if twenty.PreproTime <= five.PreproTime/4 {
+		t.Errorf("preprocessing time did not grow with the table: %v vs %v", five.PreproTime, twenty.PreproTime)
+	}
+	if twenty.TableMiB <= five.TableMiB {
+		t.Errorf("table size did not grow: %.2f vs %.2f MiB", five.TableMiB, twenty.TableMiB)
+	}
+	t.Logf("germany: spd 5%%=%.2f 20%%=%.2f deg>2=%.2f (sizes %.2f/%.2f/%.2f MiB)",
+		five.SpeedUp, twenty.SpeedUp, deg.SpeedUp, five.TableMiB, twenty.TableMiB, deg.TableMiB)
+}
+
+// Table 2, claim 3: on dense bus networks the same effect appears once the
+// transfer-station set is dense enough to separate neighbourhoods (larger
+// scale; the paper's full-size networks are 10–17× bigger still).
+func TestShapeT2BusAtLargerScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests run the full harness")
+	}
+	net, err := bench.Load("oahu", 0.4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sels := []bench.Selection{
+		{Label: "0.0%"},
+		{Label: "20.0%", Fraction: 0.20},
+	}
+	rows, err := bench.Table2(net, sels, 6, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].SpeedUp < 1.3 {
+		t.Errorf("oahu@0.4 20%% table speed-up %.2f, want ≥1.3", rows[1].SpeedUp)
+	}
+	t.Logf("oahu@0.4: 20%% table speed-up %.2f", rows[1].SpeedUp)
+}
+
+// Ablation: the equal-time-slots partition is less balanced than equal
+// connections under rush-hour departure distributions (Section 3.2).
+func TestShapePartitionBalance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests run the full harness")
+	}
+	net := expNet(t, "losangeles")
+	rows, err := bench.AblationPartition(net, 4, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]bench.AblationRow{}
+	for _, r := range rows {
+		byName[r.Config] = r
+	}
+	ec := byName["equal-connections"]
+	ts := byName["equal-time-slots"]
+	if ts.Imbalance < ec.Imbalance {
+		t.Errorf("time-slots (%.2f) should be less balanced than equal-connections (%.2f)",
+			ts.Imbalance, ec.Imbalance)
+	}
+	t.Logf("imbalance: equal-conns %.2f, time-slots %.2f, k-means %.2f",
+		ec.Imbalance, ts.Imbalance, byName["k-means"].Imbalance)
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"time"
+
+	"transit/internal/dtable"
+	"transit/internal/graph"
+	"transit/internal/timetable"
+)
+
+// PreprocessResult reports distance-table preprocessing cost, matching the
+// Prepro columns of Table 2.
+type PreprocessResult struct {
+	Table *dtable.Table
+	// Elapsed is the total preprocessing wall time.
+	Elapsed time.Duration
+	// SizeBytes is the table's memory footprint estimate.
+	SizeBytes int64
+}
+
+// BuildDistanceTable precomputes the distance table for the marked transfer
+// stations by running the (possibly parallel) one-to-all profile search
+// from each of them, exactly as in Section 5.2 ("the distance tables are
+// computed by running our parallel one-to-all algorithm from every transfer
+// station"). sourceParallelism bounds how many source stations are
+// processed concurrently (1 reproduces the paper's setup, where
+// parallelism lives inside each one-to-all run).
+func BuildDistanceTable(g *graph.Graph, isTransfer []bool, opts Options, sourceParallelism int) (*PreprocessResult, error) {
+	start := time.Now()
+	t, err := dtable.Build(g.TT.Period, g.TT.NumStations(), isTransfer, sourceParallelism,
+		func(s timetable.StationID) (dtable.StationProfiler, error) {
+			return OneToAll(g, s, opts)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &PreprocessResult{
+		Table:     t,
+		Elapsed:   time.Since(start),
+		SizeBytes: t.SizeBytes(),
+	}, nil
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"transit/internal/graph"
+	"transit/internal/stats"
+	"transit/internal/timetable"
+	"transit/internal/timeutil"
+)
+
+// LabelCorrecting runs the classic profile-search baseline of Section 2:
+// travel-time *functions* instead of scalars are propagated through the
+// network, so the label-setting property is lost and nodes re-enter the
+// queue whenever any point of their function improves. The result is
+// label-compatible with OneToAll (same arr(v, i) semantics), but the work
+// differs greatly — this is the LC row of Table 1.
+//
+// Counting follows the paper: the settled-connections figure is the sum of
+// the sizes of the connection labels taken from the priority queue, i.e.
+// every pop contributes the number of finite points of the popped node's
+// function, all of which are relaxed.
+func LabelCorrecting(g *graph.Graph, source timetable.StationID, opts Options) (*ProfileResult, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if int(source) < 0 || int(source) >= g.TT.NumStations() {
+		return nil, fmt.Errorf("core: source station %d out of range", source)
+	}
+	if opts.TrackParents {
+		return nil, fmt.Errorf("core: LabelCorrecting does not support parent tracking")
+	}
+	start := time.Now()
+	res := newProfileResult(g, source, opts)
+	k := res.K()
+	numNodes := g.NumNodes()
+	var c stats.Counters
+
+	heap := opts.newHeap(numNodes)
+
+	// Seed the departure route nodes: arr(r, i) = τ_dep(c_i).
+	for i, id := range res.Conns {
+		r := g.ConnDepartureNode(id)
+		li := res.label(r, i)
+		if res.Deps[i] < res.arr[li] {
+			res.arr[li] = res.Deps[i]
+		}
+	}
+	seeded := make(map[graph.NodeID]bool)
+	for _, id := range res.Conns {
+		r := g.ConnDepartureNode(id)
+		if !seeded[r] {
+			seeded[r] = true
+			if heap.Push(int32(r), minFinite(res.arr[res.label(r, 0):res.label(r, 0)+k])) {
+				c.QueuePushes++
+			}
+		}
+	}
+
+	for !heap.Empty() {
+		it, _ := heap.PopMin()
+		c.QueuePops++
+		v := graph.NodeID(it)
+		row := res.arr[res.label(v, 0) : res.label(v, 0)+k]
+		// The popped label carries all its finite points; each is relaxed.
+		edges := g.OutEdges(v)
+		for i, av := range row {
+			if av.IsInf() {
+				continue
+			}
+			c.SettledConns++ // size of the connection label taken from Q
+			for e := range edges {
+				arrTent, _ := g.EvalEdge(&edges[e], av)
+				c.Relaxed++
+				if arrTent.IsInf() {
+					continue
+				}
+				head := edges[e].Head
+				hl := res.label(head, i)
+				if arrTent < res.arr[hl] {
+					res.arr[hl] = arrTent
+					if heap.Push(int32(head), arrTent) {
+						c.QueuePushes++
+					}
+				}
+			}
+		}
+	}
+	res.Run.PerThread = []stats.Counters{c}
+	res.Run.Total = c
+	res.Run.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func minFinite(row []timeutil.Ticks) timeutil.Ticks {
+	m := timeutil.Infinity
+	for _, v := range row {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,87 @@
+// Package core implements the paper's algorithms: the time-query
+// (time-dependent Dijkstra), the label-correcting profile-search baseline,
+// the self-pruning connection-setting (SPCS) one-to-all profile search of
+// Section 3, its parallelization, and the station-to-station query of
+// Section 4 with stopping criterion, distance-table pruning and target
+// pruning.
+package core
+
+import (
+	"fmt"
+
+	"transit/internal/pq"
+)
+
+// PartitionStrategy selects how conn(S) is split across threads
+// (Section 3.2, "Choice of the Partition").
+type PartitionStrategy int
+
+const (
+	// EqualConnections splits conn(S) into p contiguous subsets of equal
+	// cardinality — the paper's recommended compromise and the default.
+	EqualConnections PartitionStrategy = iota
+	// EqualTimeSlots splits the period Π into p intervals of equal length;
+	// unbalanced under rush hours, included for the ablation.
+	EqualTimeSlots
+	// KMeans clusters departure times with 1-D k-means (Lloyd), the
+	// "more sophisticated" method the paper found insignificant.
+	KMeans
+)
+
+func (s PartitionStrategy) String() string {
+	switch s {
+	case EqualConnections:
+		return "equal-connections"
+	case EqualTimeSlots:
+		return "equal-time-slots"
+	case KMeans:
+		return "k-means"
+	default:
+		return fmt.Sprintf("PartitionStrategy(%d)", int(s))
+	}
+}
+
+// Options configures profile searches. The zero value means: one thread,
+// equal-connections partitioning, self-pruning on, binary heap, no parent
+// tracking.
+type Options struct {
+	// Threads is the number of worker goroutines p; values < 1 mean 1.
+	Threads int
+	// Partition picks the conn(S) partitioning strategy for Threads > 1.
+	Partition PartitionStrategy
+	// DisableSelfPruning turns the self-pruning rule off (ablation only;
+	// the algorithm degenerates to independent per-connection searches).
+	DisableSelfPruning bool
+	// TrackParents records parent links for journey extraction, at the
+	// cost of one node+connection pair per label.
+	TrackParents bool
+	// HeapArity selects the d-ary heap (2 or 4); 0 means 2, the paper's
+	// binary heap.
+	HeapArity int
+}
+
+func (o Options) threads() int {
+	if o.Threads < 1 {
+		return 1
+	}
+	return o.Threads
+}
+
+func (o Options) newHeap(maxItems int) *pq.Heap {
+	if o.HeapArity == 4 {
+		return pq.New4(maxItems)
+	}
+	return pq.New(maxItems)
+}
+
+func (o Options) validate() error {
+	if o.HeapArity != 0 && o.HeapArity != 2 && o.HeapArity != 4 {
+		return fmt.Errorf("core: unsupported heap arity %d (want 2 or 4)", o.HeapArity)
+	}
+	switch o.Partition {
+	case EqualConnections, EqualTimeSlots, KMeans:
+	default:
+		return fmt.Errorf("core: unknown partition strategy %d", int(o.Partition))
+	}
+	return nil
+}

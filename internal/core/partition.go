@@ -1,0 +1,122 @@
+package core
+
+import (
+	"transit/internal/timeutil"
+)
+
+// partition splits the index range [0, k) of conn(S) — already sorted by
+// departure time — into at most p contiguous chunks, returning p+1 boundary
+// indexes b with chunk t = [b[t], b[t+1]). Chunks may be empty (e.g. a
+// time slot containing no departures).
+func partition(deps []timeutil.Ticks, period timeutil.Period, p int, strategy PartitionStrategy) []int {
+	k := len(deps)
+	if p < 1 {
+		p = 1
+	}
+	switch strategy {
+	case EqualTimeSlots:
+		return partitionTimeSlots(deps, period, p)
+	case KMeans:
+		return partitionKMeans(deps, p)
+	default:
+		return partitionEqualConns(k, p)
+	}
+}
+
+// partitionEqualConns makes p chunks whose sizes differ by at most one —
+// the paper's "equal number of connections" method.
+func partitionEqualConns(k, p int) []int {
+	b := make([]int, p+1)
+	for t := 0; t <= p; t++ {
+		b[t] = t * k / p
+	}
+	return b
+}
+
+// partitionTimeSlots cuts Π into p equal intervals and assigns each
+// connection to the slot containing its departure — the paper's "equal
+// time-slots" method, unbalanced under rush hours.
+func partitionTimeSlots(deps []timeutil.Ticks, period timeutil.Period, p int) []int {
+	k := len(deps)
+	b := make([]int, p+1)
+	pi := int(period.Len())
+	idx := 0
+	for t := 0; t < p; t++ {
+		b[t] = idx
+		hi := timeutil.Ticks((t + 1) * pi / p)
+		for idx < k && deps[idx] < hi {
+			idx++
+		}
+	}
+	b[p] = k
+	return b
+}
+
+// partitionKMeans runs 1-D Lloyd iterations on the sorted departure times.
+// Clusters of sorted scalars are contiguous ranges, so the result is again
+// a boundary vector. Initialization is equal-size chunks; a few iterations
+// suffice at these sizes.
+func partitionKMeans(deps []timeutil.Ticks, p int) []int {
+	k := len(deps)
+	if k == 0 || p == 1 {
+		return partitionEqualConns(k, p)
+	}
+	if p > k {
+		p = k
+	}
+	b := partitionEqualConns(k, p)
+	for iter := 0; iter < 32; iter++ {
+		// Centroids of current chunks.
+		cent := make([]float64, p)
+		for t := 0; t < p; t++ {
+			lo, hi := b[t], b[t+1]
+			if lo == hi {
+				// Empty cluster: reseed at the overall middle of its
+				// neighbours to keep the boundary vector monotone.
+				cent[t] = float64(deps[min(lo, k-1)])
+				continue
+			}
+			var sum float64
+			for i := lo; i < hi; i++ {
+				sum += float64(deps[i])
+			}
+			cent[t] = sum / float64(hi-lo)
+		}
+		// Reassign: each sorted value goes to the nearest centroid;
+		// boundaries are where the nearest centroid switches.
+		nb := make([]int, p+1)
+		nb[p] = k
+		idx := 0
+		for t := 0; t < p; t++ {
+			nb[t] = idx
+			if t == p-1 {
+				break
+			}
+			mid := (cent[t] + cent[t+1]) / 2
+			for idx < k && float64(deps[idx]) <= mid {
+				idx++
+			}
+		}
+		changed := false
+		for t := range nb {
+			if nb[t] != b[t] {
+				changed = true
+				break
+			}
+		}
+		b = nb
+		if !changed {
+			break
+		}
+	}
+	return b
+}
+
+// chunkSizes is a debugging/bench helper reporting the size of each chunk.
+func chunkSizes(b []int) []int {
+	out := make([]int, len(b)-1)
+	for t := 0; t < len(out); t++ {
+		out[t] = b[t+1] - b[t]
+	}
+	return out
+}

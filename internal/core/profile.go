@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+
+	"transit/internal/graph"
+	"transit/internal/stats"
+	"transit/internal/timetable"
+	"transit/internal/timeutil"
+	"transit/internal/ttf"
+)
+
+// ProfileResult holds the outcome of a one-to-all profile search from a
+// source station: for every node v and every seed connection index i, the
+// arrival time arr(v, i) (Infinity when connection i does not usefully
+// reach v). Station profiles dist(S, T, ·) are derived on demand by
+// connection reduction.
+//
+// Without footpaths the seed list is exactly the paper's conn(S). With
+// footpaths it is the extended list (see extendedConns): connections of
+// walk-reachable stations with *effective* departures from the source, so
+// itineraries that begin on foot are represented too. Journeys consisting
+// of walking only are handled separately (WalkOnly / EarliestArrival).
+type ProfileResult struct {
+	Source timetable.StationID
+	// Conns lists the seed connections, ordered non-decreasingly by
+	// effective departure; index i in all labels refers to this ordering.
+	Conns []timetable.ConnID
+	// Deps caches the effective departure times from the source (equal to
+	// τ_dep(c_i) when c_i departs the source itself; earlier by the walking
+	// time when it departs a footpath neighbour; may be negative, wrapping
+	// periodically).
+	Deps []timeutil.Ticks
+	// Run carries the work counters and timing of the search.
+	Run stats.Run
+
+	g    *graph.Graph
+	arr  []timeutil.Ticks // numNodes × k, row-major by node
+	walk map[timetable.StationID]timeutil.Ticks
+
+	// Parent links, present only when Options.TrackParents was set.
+	parentNode []graph.NodeID
+	parentConn []timetable.ConnID
+}
+
+func newProfileResult(g *graph.Graph, source timetable.StationID, opts Options) *ProfileResult {
+	return newProfileResultWindow(g, source, opts, 0, timeutil.Infinity)
+}
+
+// newProfileResultWindow restricts the seed list to effective departures in
+// [from, to] — the interval profile search of Dean [5] referenced in the
+// paper's related work ("all quickest connections in a given time
+// interval"). The full-period search passes [0, ∞).
+func newProfileResultWindow(g *graph.Graph, source timetable.StationID, opts Options, from, to timeutil.Ticks) *ProfileResult {
+	tt := g.TT
+	walk := walkDistances(tt, source)
+	connIDs, deps := extendedConns(tt, source, walk)
+	if from > 0 || !to.IsInf() {
+		fc := connIDs[:0]
+		fd := deps[:0]
+		for i, d := range deps {
+			if d >= from && d <= to {
+				fc = append(fc, connIDs[i])
+				fd = append(fd, d)
+			}
+		}
+		connIDs, deps = fc, fd
+	}
+	k := len(connIDs)
+	r := &ProfileResult{
+		Source: source,
+		Conns:  connIDs,
+		Deps:   deps,
+		g:      g,
+		walk:   walk,
+		arr:    make([]timeutil.Ticks, g.NumNodes()*k),
+	}
+	for i := range r.arr {
+		r.arr[i] = timeutil.Infinity
+	}
+	if opts.TrackParents {
+		r.parentNode = make([]graph.NodeID, len(r.arr))
+		r.parentConn = make([]timetable.ConnID, len(r.arr))
+		for i := range r.parentNode {
+			r.parentNode[i] = graph.NoNode
+			r.parentConn[i] = -1
+		}
+	}
+	return r
+}
+
+// K returns |conn(S)|, the number of outgoing connections of the source.
+func (r *ProfileResult) K() int { return len(r.Conns) }
+
+// label returns the flat index of (v, i).
+func (r *ProfileResult) label(v graph.NodeID, i int) int { return int(v)*len(r.Conns) + i }
+
+// Arrival returns arr(v, i) for a node.
+func (r *ProfileResult) Arrival(v graph.NodeID, i int) timeutil.Ticks {
+	return r.arr[r.label(v, i)]
+}
+
+// StationArrival returns arr(T, i) at the station node of T.
+func (r *ProfileResult) StationArrival(t timetable.StationID, i int) timeutil.Ticks {
+	return r.arr[r.label(r.g.StationNode(t), i)]
+}
+
+// StationArrivals returns the full label vector arr(T, ·) of a station
+// (shared slice; do not modify).
+func (r *ProfileResult) StationArrivals(t timetable.StationID) []timeutil.Ticks {
+	v := r.g.StationNode(t)
+	return r.arr[r.label(v, 0) : r.label(v, 0)+len(r.Conns)]
+}
+
+// StationProfile reduces the label vector of T into the distance function
+// dist(S, T, ·) (Section 3.1, "Connection Reduction").
+func (r *ProfileResult) StationProfile(t timetable.StationID) (*ttf.Function, error) {
+	return ttf.FromArrivals(r.g.TT.Period, r.Deps, r.StationArrivals(t))
+}
+
+// WalkOnly returns the pure walking time from the source to t over
+// footpaths (0 for the source itself, Infinity when not walkable).
+func (r *ProfileResult) WalkOnly(t timetable.StationID) timeutil.Ticks {
+	return distOrInf(r.walk, t)
+}
+
+// EarliestArrival evaluates the profile at T for a departure at the
+// absolute time at: the earliest arrival over all connection points, or on
+// foot alone when that is faster. It is what a time-query from the same
+// source would return. The source station itself is answered trivially
+// with at (you are already there); its stored profile only describes
+// itineraries that board a train and return.
+func (r *ProfileResult) EarliestArrival(t timetable.StationID, at timeutil.Ticks) timeutil.Ticks {
+	if t == r.Source {
+		return at
+	}
+	best := timeutil.Infinity
+	if w := r.WalkOnly(t); !w.IsInf() {
+		best = at + w
+	}
+	f, err := r.StationProfile(t)
+	if err != nil {
+		return best
+	}
+	if a := f.EvalArrival(at); a < best {
+		best = a
+	}
+	return best
+}
+
+// IdealSpeedupOver estimates the machine-independent parallel speed-up of
+// this run over a sequential baseline run (see stats.Run.IdealSpeedup).
+func (r *ProfileResult) IdealSpeedupOver(seq *ProfileResult) float64 {
+	return r.Run.IdealSpeedup(&seq.Run)
+}
+
+// HasParents reports whether parent links were recorded.
+func (r *ProfileResult) HasParents() bool { return r.parentNode != nil }
+
+// JourneyConnections reconstructs the elementary connections ridden by the
+// itinerary of connection index i to station t, in travel order. It returns
+// an error when parents were not tracked or (t, i) is unreachable.
+func (r *ProfileResult) JourneyConnections(t timetable.StationID, i int) ([]timetable.ConnID, error) {
+	if !r.HasParents() {
+		return nil, fmt.Errorf("core: journey extraction requires Options.TrackParents")
+	}
+	if i < 0 || i >= len(r.Conns) {
+		return nil, fmt.Errorf("core: connection index %d out of range [0,%d)", i, len(r.Conns))
+	}
+	v := r.g.StationNode(t)
+	if r.arr[r.label(v, i)].IsInf() {
+		return nil, fmt.Errorf("core: station %d unreachable via connection %d", t, i)
+	}
+	var rides []timetable.ConnID
+	for steps := 0; ; steps++ {
+		if steps > r.g.NumNodes()+1 {
+			return nil, fmt.Errorf("core: parent chain cycle at node %d", v)
+		}
+		li := r.label(v, i)
+		p := r.parentNode[li]
+		if p == graph.NoNode {
+			break // reached the seed route node
+		}
+		if c := r.parentConn[li]; c >= 0 {
+			rides = append(rides, c)
+		}
+		v = p
+	}
+	// Reverse into travel order.
+	for a, b := 0, len(rides)-1; a < b; a, b = a+1, b-1 {
+		rides[a], rides[b] = rides[b], rides[a]
+	}
+	return rides, nil
+}

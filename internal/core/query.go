@@ -1,0 +1,446 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"transit/internal/dtable"
+	"transit/internal/graph"
+	"transit/internal/stationgraph"
+	"transit/internal/stats"
+	"transit/internal/timetable"
+	"transit/internal/timeutil"
+	"transit/internal/ttf"
+)
+
+// QueryEnv bundles the static data a station-to-station query runs against.
+// Graph is mandatory; StationGraph and Table enable the Section 4 prunings
+// when present (both must be set together).
+type QueryEnv struct {
+	Graph        *graph.Graph
+	StationGraph *stationgraph.Graph
+	Table        *dtable.Table
+}
+
+// QueryOptions extends Options with the Section 4 switches (all prunings
+// are on whenever their prerequisites are available; the Disable* fields
+// exist for ablations).
+type QueryOptions struct {
+	Options
+	// DisableStoppingCriterion turns off Theorem 2 pruning.
+	DisableStoppingCriterion bool
+	// DisableTablePruning turns off Theorem 3 pruning even when a distance
+	// table is present.
+	DisableTablePruning bool
+	// DisableTargetPruning turns off Theorem 4 pruning even when the
+	// target is a transfer station.
+	DisableTargetPruning bool
+}
+
+// StationQueryResult is the profile of an S–T station-to-station query:
+// arr(T, i) for every outgoing connection i of S.
+type StationQueryResult struct {
+	Source timetable.StationID
+	Target timetable.StationID
+	// Conns and Deps describe conn(S) as in ProfileResult.
+	Conns []timetable.ConnID
+	Deps  []timeutil.Ticks
+	// ArrT[i] is the arrival time at T when starting with connection i
+	// (Infinity when pruned as useless or unreachable).
+	ArrT []timeutil.Ticks
+	// WalkOnly is the pure walking time from S to T over footpaths
+	// (Infinity when not walkable).
+	WalkOnly timeutil.Ticks
+	// Local reports whether S ∈ local(T) (distance-table pruning skipped).
+	Local bool
+	// TableHit reports that both endpoints were transfer stations and the
+	// result was read directly from the distance table without a search.
+	TableHit bool
+	Run      stats.Run
+
+	period timeutil.Period
+}
+
+// Profile reduces ArrT into dist(S, T, ·).
+func (r *StationQueryResult) Profile() (*ttf.Function, error) {
+	return ttf.FromArrivals(r.period, r.Deps, r.ArrT)
+}
+
+// EarliestArrival evaluates the query profile for a departure at the
+// absolute time at, walking all the way when that is faster.
+func (r *StationQueryResult) EarliestArrival(at timeutil.Ticks) timeutil.Ticks {
+	if r.Source == r.Target {
+		return at
+	}
+	best := timeutil.Infinity
+	if !r.WalkOnly.IsInf() {
+		best = at + r.WalkOnly
+	}
+	f, err := r.Profile()
+	if err != nil {
+		return best
+	}
+	if a := f.EvalArrival(at); a < best {
+		best = a
+	}
+	return best
+}
+
+// stopState is the shared stopping-criterion state (Theorem 2), packed for
+// a single atomic word: upper 32 bits hold Tm+1 (0 = none yet), lower 32
+// the arrival time arr(T, Tm) at which it was settled. Cross-thread use
+// additionally compares keys against that arrival, which is what makes the
+// sequential argument ("q was settled after q′") carry over to independent
+// per-thread queues.
+type stopState struct {
+	v atomic.Uint64
+}
+
+func (s *stopState) observeTargetSettle(i int, arr timeutil.Ticks) {
+	for {
+		cur := s.v.Load()
+		curIdx := int64(cur>>32) - 1
+		if int64(i) <= curIdx {
+			return
+		}
+		next := uint64(uint32(i+1))<<32 | uint64(uint32(arr))
+		if s.v.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// shouldPrune reports whether entry (·, i) popped with the given key is
+// dominated per Theorem 2.
+func (s *stopState) shouldPrune(i int, key timeutil.Ticks) bool {
+	cur := s.v.Load()
+	curIdx := int64(cur>>32) - 1
+	if curIdx < 0 || int64(i) > curIdx {
+		return false
+	}
+	arr := timeutil.Ticks(int32(uint32(cur)))
+	return key >= arr
+}
+
+// StationToStation answers an S–T profile query with the accelerations of
+// Section 4: the stopping criterion, and — when env carries a station graph
+// and distance table — pruning via the distance table for global queries
+// plus target pruning when T is a transfer station.
+func StationToStation(env QueryEnv, source, target timetable.StationID, opts QueryOptions) (*StationQueryResult, error) {
+	g := env.Graph
+	if g == nil {
+		return nil, fmt.Errorf("core: QueryEnv.Graph is nil")
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	ns := g.TT.NumStations()
+	if int(source) < 0 || int(source) >= ns || int(target) < 0 || int(target) >= ns {
+		return nil, fmt.Errorf("core: invalid station pair (%d, %d)", source, target)
+	}
+	if (env.Table == nil) != (env.StationGraph == nil) {
+		return nil, fmt.Errorf("core: StationGraph and Table must be provided together")
+	}
+	start := time.Now()
+
+	walk := walkDistances(g.TT, source)
+	connIDs, deps := extendedConns(g.TT, source, walk)
+	res := &StationQueryResult{
+		Source:   source,
+		Target:   target,
+		Conns:    connIDs,
+		Deps:     deps,
+		WalkOnly: distOrInf(walk, target),
+		period:   g.TT.Period,
+	}
+	k := len(res.Conns)
+	res.ArrT = make([]timeutil.Ticks, k)
+	for i := range res.ArrT {
+		res.ArrT[i] = timeutil.Infinity
+	}
+
+	useTable := env.Table != nil && !opts.DisableTablePruning
+	var vias *stationgraph.Vias
+	if env.Table != nil {
+		// Both endpoints transfer stations: the table already holds all
+		// best connections from S to T (Section 4, Special Cases).
+		if env.Table.IsTransfer(source) && env.Table.IsTransfer(target) && !opts.DisableTablePruning {
+			for i := range res.ArrT {
+				res.ArrT[i] = env.Table.D(source, target, res.Deps[i])
+			}
+			res.TableHit = true
+			res.Run.Elapsed = time.Since(start)
+			res.Run.PerThread = []stats.Counters{{}}
+			return res, nil
+		}
+		// Determine via(T) on the fly; the DFS also classifies the query.
+		isTransfer := make([]bool, ns)
+		for _, s := range env.Table.Stations() {
+			isTransfer[s] = true
+		}
+		vias = env.StationGraph.ComputeVias(target, isTransfer)
+		res.Local = vias.IsLocalSource(source)
+	}
+
+	q := &s2sQuery{
+		g:          g,
+		res:        res,
+		opts:       opts,
+		target:     target,
+		targetNode: g.StationNode(target),
+	}
+	if useTable && !res.Local && len(vias.Via) > 0 {
+		q.table = env.Table
+		q.vias = vias.Via
+		q.targetIsTransfer = env.Table.IsTransfer(target) && !opts.DisableTargetPruning
+	}
+
+	p := opts.threads()
+	bounds := partition(res.Deps, g.TT.Period, p, opts.Partition)
+	nw := len(bounds) - 1
+	workers := make([]*s2sWorker, nw)
+	for t := 0; t < nw; t++ {
+		workers[t] = newS2SWorker(q, bounds[t], bounds[t+1])
+	}
+	if nw == 1 {
+		workers[0].run()
+	} else {
+		var wg sync.WaitGroup
+		for _, w := range workers {
+			wg.Add(1)
+			go func(w *s2sWorker) {
+				defer wg.Done()
+				w.run()
+			}(w)
+		}
+		wg.Wait()
+	}
+	res.Run.PerThread = make([]stats.Counters, nw)
+	for t, w := range workers {
+		res.Run.PerThread[t] = w.counters
+		res.Run.Total.Add(w.counters)
+	}
+	res.Run.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// s2sQuery is the per-query shared state of all workers.
+type s2sQuery struct {
+	g          *graph.Graph
+	res        *StationQueryResult
+	opts       QueryOptions
+	target     timetable.StationID
+	targetNode graph.NodeID
+
+	// stop is the shared stopping-criterion state.
+	stop stopState
+
+	// Distance-table pruning state (nil/false when inactive).
+	table            *dtable.Table
+	vias             []timetable.StationID
+	targetIsTransfer bool
+}
+
+// s2sWorker runs the pruned connection-setting search on the connection
+// range [lo, hi). All per-connection pruning state (µ bounds, γ bounds,
+// done flags, ancestor counters) is local to the worker, since connections
+// are partitioned across workers.
+type s2sWorker struct {
+	q        *s2sQuery
+	lo, hi   int
+	counters stats.Counters
+
+	arr     []timeutil.Ticks // labels, nodes × kLocal
+	settled []bool
+	maxconn []int32
+
+	// µ[iLocal*len(vias)+j]: upper bound µ_{i,j} on the useful arrival at
+	// via station j (Theorem 3).
+	mu []timeutil.Ticks
+	// Target pruning (Theorem 4) state.
+	gamma      []timeutil.Ticks // γ_i lower bounds
+	connDone   []bool           // search for i stopped
+	anc        []bool           // label has a transfer-station ancestor
+	noAncCount []int            // queued entries of i without transfer ancestor
+}
+
+func newS2SWorker(q *s2sQuery, lo, hi int) *s2sWorker {
+	w := &s2sWorker{q: q, lo: lo, hi: hi}
+	kLocal := hi - lo
+	n := q.g.NumNodes()
+	w.arr = make([]timeutil.Ticks, n*kLocal)
+	for i := range w.arr {
+		w.arr[i] = timeutil.Infinity
+	}
+	w.settled = make([]bool, n*kLocal)
+	w.maxconn = make([]int32, n)
+	for i := range w.maxconn {
+		w.maxconn[i] = -1
+	}
+	if q.table != nil {
+		w.mu = make([]timeutil.Ticks, kLocal*len(q.vias))
+		for i := range w.mu {
+			w.mu[i] = timeutil.Infinity
+		}
+		if q.targetIsTransfer {
+			w.gamma = make([]timeutil.Ticks, kLocal)
+			for i := range w.gamma {
+				w.gamma[i] = timeutil.Infinity
+			}
+			w.connDone = make([]bool, kLocal)
+			w.anc = make([]bool, n*kLocal)
+			w.noAncCount = make([]int, kLocal)
+		}
+	}
+	return w
+}
+
+func (w *s2sWorker) run() {
+	q := w.q
+	g := q.g
+	res := q.res
+	kLocal := w.hi - w.lo
+	if kLocal == 0 {
+		return
+	}
+	heap := q.opts.newHeap(g.NumNodes() * kLocal)
+	transferTime := func(s timetable.StationID) timeutil.Ticks { return g.TT.Stations[s].Transfer }
+
+	push := func(v graph.NodeID, iLocal int, key timeutil.Ticks, childAnc bool) {
+		it := int32(int(v)*kLocal + iLocal)
+		if w.settled[it] {
+			return
+		}
+		wasIn := heap.Contains(it)
+		if !heap.Push(it, key) {
+			return
+		}
+		w.counters.QueuePushes++
+		if w.anc != nil {
+			if !wasIn {
+				if !childAnc {
+					w.noAncCount[iLocal]++
+				}
+				w.anc[it] = childAnc
+			} else if w.anc[it] != childAnc {
+				if childAnc {
+					w.noAncCount[iLocal]--
+				} else {
+					w.noAncCount[iLocal]++
+				}
+				w.anc[it] = childAnc
+			}
+		}
+	}
+
+	for i := w.lo; i < w.hi; i++ {
+		id := res.Conns[i]
+		r := g.ConnDepartureNode(id)
+		push(r, i-w.lo, g.TT.Connections[id].Dep, false)
+	}
+
+	for !heap.Empty() {
+		it, key := heap.PopMin()
+		w.counters.QueuePops++
+		v := graph.NodeID(int(it) / kLocal)
+		iLocal := int(it) % kLocal
+		i := w.lo + iLocal
+		w.settled[it] = true
+		hasAnc := false
+		if w.anc != nil {
+			hasAnc = w.anc[it]
+			if !hasAnc {
+				w.noAncCount[iLocal]--
+			}
+		}
+
+		// Target pruning already finished this connection.
+		if w.connDone != nil && w.connDone[iLocal] {
+			w.counters.PrunedConns++
+			continue
+		}
+		// Stopping criterion (Theorem 2).
+		if !q.opts.DisableStoppingCriterion && q.stop.shouldPrune(i, key) {
+			w.counters.PrunedConns++
+			continue
+		}
+		// Self-pruning (Theorem 1).
+		if !q.opts.DisableSelfPruning && int32(i) <= w.maxconn[v] {
+			w.counters.PrunedConns++
+			continue
+		}
+		if int32(i) > w.maxconn[v] {
+			w.maxconn[v] = int32(i)
+		}
+		w.arr[it] = key
+		w.counters.SettledConns++
+
+		st := g.Station(v)
+
+		// Target reached for this connection.
+		if v == q.targetNode {
+			res.ArrT[i] = key
+			if !q.opts.DisableStoppingCriterion {
+				q.stop.observeTargetSettle(i, key)
+			}
+			// Leaving the target and coming back cannot arrive earlier
+			// (FIFO), and other stations are irrelevant to this query.
+			continue
+		}
+
+		if q.table != nil && q.table.IsTransfer(st) {
+			arrWithTransfer := key + transferTime(st)
+			// Target pruning (Theorem 4).
+			if w.gamma != nil {
+				if d := q.table.D(st, q.target, key); d < w.gamma[iLocal] {
+					w.gamma[iLocal] = d
+				}
+				if w.noAncCount[iLocal] == 0 {
+					// γ_i is a feasible lower bound only once every queued
+					// entry of i has a transfer-station ancestor: then the
+					// optimal path's frontier passed a settled transfer
+					// station, which has already contributed to γ_i.
+					if d := q.table.D(st, q.target, arrWithTransfer); d == w.gamma[iLocal] {
+						res.ArrT[i] = d
+						if !q.opts.DisableStoppingCriterion {
+							q.stop.observeTargetSettle(i, d)
+						}
+						w.connDone[iLocal] = true
+						continue
+					}
+				}
+			}
+			// Distance-table pruning (Theorem 3): refresh µ_{i,j}, then
+			// prune v if it provably cannot improve any via station.
+			prune := true
+			base := iLocal * len(q.vias)
+			for j, vj := range q.vias {
+				mu := q.table.D(st, vj, arrWithTransfer) + transferTime(vj)
+				if mu < w.mu[base+j] {
+					w.mu[base+j] = mu
+				}
+				if q.table.D(st, vj, key) <= w.mu[base+j] {
+					prune = false
+				}
+			}
+			if prune {
+				w.counters.PrunedConns++
+				w.counters.SettledConns-- // settled but not expanded
+				continue
+			}
+		}
+
+		childAnc := hasAnc || (q.table != nil && q.table.IsTransfer(st))
+		edges := g.OutEdges(v)
+		for e := range edges {
+			arrTent, _ := g.EvalEdge(&edges[e], key)
+			w.counters.Relaxed++
+			if arrTent.IsInf() {
+				continue
+			}
+			push(edges[e].Head, iLocal, arrTent, childAnc)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+// Chaos cross-validation: random, adversarial timetables (not the
+// well-behaved generator families) exercise edge cases — overnight trains,
+// duplicate departures, stations with a single connection, zero transfer
+// times — and every algorithm must agree with every other on the answers.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"transit/internal/graph"
+	"transit/internal/stationgraph"
+	"transit/internal/timetable"
+	"transit/internal/timeutil"
+)
+
+// randomTimetable builds a chaotic but valid timetable.
+func randomTimetable(t *testing.T, rng *rand.Rand) *timetable.Timetable {
+	t.Helper()
+	nStations := 4 + rng.Intn(12)
+	b := timetable.NewBuilder(day)
+	ids := make([]timetable.StationID, nStations)
+	for i := range ids {
+		ids[i] = b.AddStation(fmt.Sprintf("s%d", i), timeutil.Ticks(rng.Intn(6)))
+	}
+	nTrains := 5 + rng.Intn(40)
+	for z := 0; z < nTrains; z++ {
+		length := 2 + rng.Intn(5)
+		if length > nStations {
+			length = nStations
+		}
+		perm := rng.Perm(nStations)[:length]
+		path := make([]timetable.StationID, length)
+		for i, p := range perm {
+			path[i] = ids[p]
+		}
+		hops := make([]timeutil.Ticks, length-1)
+		for h := range hops {
+			hops[h] = timeutil.Ticks(1 + rng.Intn(200))
+		}
+		// Departures anywhere in the period, including close to midnight so
+		// runs wrap.
+		b.AddTrainRun(fmt.Sprintf("z%d", z), path, timeutil.Ticks(rng.Intn(1440)), hops, timeutil.Ticks(rng.Intn(4)))
+	}
+	tt, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tt
+}
+
+func TestRandomNetworksCrossValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 60; trial++ {
+		tt := randomTimetable(t, rng)
+		g := graph.Build(tt)
+		src := timetable.StationID(rng.Intn(tt.NumStations()))
+
+		spcs, err := OneToAll(g, src, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := 1 + rng.Intn(7)
+		strat := PartitionStrategy(rng.Intn(3))
+		par, err := OneToAll(g, src, Options{Threads: p, Partition: strat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lc, err := LabelCorrecting(g, src, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pareto, err := OneToAllPareto(g, src, 8, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for s := 0; s < tt.NumStations(); s++ {
+			st := timetable.StationID(s)
+			if st == src {
+				continue
+			}
+			parProf, err := par.StationProfile(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lcProf, err := lc.StationProfile(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			paretoProf, err := pareto.StationProfile(st, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tau := range []timeutil.Ticks{0, timeutil.Ticks(rng.Intn(1440)), 719, 1439} {
+				want := spcs.EarliestArrival(st, tau)
+				// Reference: independent time-query.
+				tq, err := TimeQuery(g, src, tau, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := tq.StationArrival(st); got != want {
+					t.Fatalf("trial %d: time-query %d vs profile %d (src %d, dst %d, τ=%d)",
+						trial, got, want, src, s, tau)
+				}
+				if got := parProf.EvalArrival(tau); got != want && !(got.IsInf() && want.IsInf()) {
+					t.Fatalf("trial %d: parallel(p=%d,%v) %d vs %d (src %d, dst %d, τ=%d)",
+						trial, p, strat, got, want, src, s, tau)
+				}
+				if got := lcProf.EvalArrival(tau); got != want && !(got.IsInf() && want.IsInf()) {
+					t.Fatalf("trial %d: LC %d vs %d (src %d, dst %d, τ=%d)", trial, got, want, src, s, tau)
+				}
+				if got := paretoProf.EvalArrival(tau); got != want && !(got.IsInf() && want.IsInf()) {
+					t.Fatalf("trial %d: pareto %d vs %d (src %d, dst %d, τ=%d)", trial, got, want, src, s, tau)
+				}
+			}
+		}
+	}
+}
+
+// Station-to-station with all prunings must agree with one-to-all on
+// random chaotic networks, including after preprocessing with random
+// transfer-station selections.
+func TestRandomNetworksStationToStation(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 25; trial++ {
+		tt := randomTimetable(t, rng)
+		g := graph.Build(tt)
+		sg := stationgraph.Build(tt)
+		// Random transfer-station selection (possibly empty or full).
+		marked := make([]bool, tt.NumStations())
+		for i := range marked {
+			marked[i] = rng.Intn(3) == 0
+		}
+		pre, err := BuildDistanceTable(g, marked, Options{}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := QueryEnv{Graph: g, StationGraph: sg, Table: pre.Table}
+
+		src := timetable.StationID(rng.Intn(tt.NumStations()))
+		ref, err := OneToAll(g, src, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < tt.NumStations(); s++ {
+			dst := timetable.StationID(s)
+			if dst == src {
+				continue
+			}
+			res, err := StationToStation(env, src, dst, QueryOptions{
+				Options: Options{Threads: 1 + rng.Intn(4)},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := res.Profile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ref.StationProfile(dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for tau := timeutil.Ticks(0); tau < 1440; tau += 111 {
+				g1, w1 := got.EvalArrival(tau), want.EvalArrival(tau)
+				if g1 != w1 && !(g1.IsInf() && w1.IsInf()) {
+					t.Fatalf("trial %d: s2s %d vs one-to-all %d (src %d, dst %d, τ=%d, local=%v hit=%v)",
+						trial, g1, w1, src, s, tau, res.Local, res.TableHit)
+				}
+			}
+		}
+	}
+}
+
+// Heap arity never changes any answer on chaotic networks.
+func TestRandomNetworksHeapArity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		tt := randomTimetable(t, rng)
+		g := graph.Build(tt)
+		src := timetable.StationID(rng.Intn(tt.NumStations()))
+		a, err := OneToAll(g, src, Options{HeapArity: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := OneToAll(g, src, Options{HeapArity: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < tt.NumStations(); s++ {
+			st := timetable.StationID(s)
+			for tau := timeutil.Ticks(100); tau < 1440; tau += 217 {
+				if a.EarliestArrival(st, tau) != b.EarliestArrival(st, tau) {
+					t.Fatalf("trial %d: heap arity changed answer at station %d", trial, s)
+				}
+			}
+		}
+	}
+}

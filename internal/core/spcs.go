@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"transit/internal/graph"
+	"transit/internal/stats"
+	"transit/internal/timetable"
+	"transit/internal/timeutil"
+)
+
+// spcsWorker runs the self-pruning connection-setting search for the
+// contiguous global connection range [lo, hi) of conn(S) (Section 3.1). It
+// owns its priority queue and maxconn labels; the arrival (and parent)
+// arrays of the shared ProfileResult are written only at global indexes in
+// [lo, hi), so concurrent workers never touch the same label.
+type spcsWorker struct {
+	g    *graph.Graph
+	res  *ProfileResult
+	opts Options
+	lo   int
+	hi   int
+
+	counters stats.Counters
+}
+
+// run executes the worker. Queue items encode (node, local connection
+// index) as node*(hi-lo) + (i-lo); keys are absolute arrival times.
+func (w *spcsWorker) run() {
+	g, res := w.g, w.res
+	kLocal := w.hi - w.lo
+	if kLocal == 0 {
+		return
+	}
+	numNodes := g.NumNodes()
+	heap := w.opts.newHeap(numNodes * kLocal)
+	settled := make([]bool, numNodes*kLocal)
+	// maxconn(v): highest global connection index settled at v so far; -1
+	// when unvisited. Self-pruning compares global indexes, which within
+	// one worker coincide with departure-time order.
+	maxconn := make([]int32, numNodes)
+	for i := range maxconn {
+		maxconn[i] = -1
+	}
+
+	item := func(v graph.NodeID, iLocal int) int32 { return int32(int(v)*kLocal + iLocal) }
+
+	// Initialization: seed (r, i) with key τ_dep(c_i) at the route node r
+	// where connection c_i departs. Keys are the *real* departure time
+	// points (arrival times at the departure platform); res.Deps holds the
+	// effective departures from the source, which differ for walk-seeded
+	// connections.
+	for i := w.lo; i < w.hi; i++ {
+		id := res.Conns[i]
+		r := g.ConnDepartureNode(id)
+		if heap.Push(item(r, i-w.lo), g.TT.Connections[id].Dep) {
+			w.counters.QueuePushes++
+		}
+	}
+
+	for !heap.Empty() {
+		it, key := heap.PopMin()
+		w.counters.QueuePops++
+		v := graph.NodeID(int(it) / kLocal)
+		iLocal := int(it) % kLocal
+		i := w.lo + iLocal
+		settled[it] = true
+
+		// Self-pruning: v was settled earlier by a later connection j > i
+		// with arr(v, j) ≤ arr(v, i); connection i does not pay off here.
+		if !w.opts.DisableSelfPruning && int32(i) <= maxconn[v] {
+			w.counters.PrunedConns++
+			continue // arr stays Infinity: connection i does not 'reach' v
+		}
+		if int32(i) > maxconn[v] {
+			maxconn[v] = int32(i)
+		}
+		li := res.label(v, i)
+		res.arr[li] = key
+		w.counters.SettledConns++
+
+		w.relax(heap, settled, v, i, iLocal, key, kLocal)
+	}
+}
+
+// relax expands all outgoing edges of (v, i) at arrival time key.
+func (w *spcsWorker) relax(heap heapLike, settled []bool, v graph.NodeID, i, iLocal int, key timeutil.Ticks, kLocal int) {
+	g, res := w.g, w.res
+	edges := g.OutEdges(v)
+	for e := range edges {
+		edge := &edges[e]
+		arrTent, ride := g.EvalEdge(edge, key)
+		w.counters.Relaxed++
+		if arrTent.IsInf() {
+			continue
+		}
+		head := edge.Head
+		hi := int(head)*kLocal + iLocal
+		if settled[hi] {
+			continue // connection-setting: (head, i) already final
+		}
+		if heap.Push(int32(hi), arrTent) {
+			w.counters.QueuePushes++
+			if res.parentNode != nil {
+				pl := res.label(head, i)
+				res.parentNode[pl] = v
+				res.parentConn[pl] = ride
+			}
+		}
+	}
+}
+
+// heapLike is the queue interface shared by the plain and pruning workers.
+type heapLike interface {
+	Push(item int32, key timeutil.Ticks) bool
+	PopMin() (int32, timeutil.Ticks)
+	Empty() bool
+}
+
+// OneToAll runs the (possibly parallel) self-pruning connection-setting
+// profile search from the source station and returns all labels arr(·, ·)
+// (Section 3). With opts.Threads > 1, conn(S) is partitioned by
+// opts.Partition and the workers run concurrently; labels are merged by
+// construction since workers write disjoint connection columns, and the
+// per-station connection reduction of ProfileResult restores the FIFO
+// property that is not guaranteed across threads.
+func OneToAll(g *graph.Graph, source timetable.StationID, opts Options) (*ProfileResult, error) {
+	return OneToAllWindow(g, source, 0, timeutil.Infinity, opts)
+}
+
+// OneToAllWindow runs the profile search restricted to itineraries leaving
+// the source (effectively) within [from, to] — Dean's interval search [5],
+// referenced in the paper's related work. The resulting profiles cover
+// exactly the departures in the window; with [0, ∞) it is OneToAll.
+func OneToAllWindow(g *graph.Graph, source timetable.StationID, from, to timeutil.Ticks, opts Options) (*ProfileResult, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if int(source) < 0 || int(source) >= g.TT.NumStations() {
+		return nil, fmt.Errorf("core: source station %d out of range", source)
+	}
+	if from > to {
+		return nil, fmt.Errorf("core: empty departure window [%d, %d]", from, to)
+	}
+	start := time.Now()
+	res := newProfileResultWindow(g, source, opts, from, to)
+	p := opts.threads()
+	bounds := partition(res.Deps, g.TT.Period, p, opts.Partition)
+	nw := len(bounds) - 1
+
+	workers := make([]*spcsWorker, nw)
+	for t := 0; t < nw; t++ {
+		workers[t] = &spcsWorker{g: g, res: res, opts: opts, lo: bounds[t], hi: bounds[t+1]}
+	}
+	if nw == 1 {
+		workers[0].run()
+	} else {
+		var wg sync.WaitGroup
+		for _, w := range workers {
+			wg.Add(1)
+			go func(w *spcsWorker) {
+				defer wg.Done()
+				w.run()
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	res.Run.PerThread = make([]stats.Counters, nw)
+	for t, w := range workers {
+		res.Run.PerThread[t] = w.counters
+		res.Run.Total.Add(w.counters)
+	}
+	res.Run.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"transit/internal/graph"
+	"transit/internal/stats"
+	"transit/internal/timetable"
+	"transit/internal/timeutil"
+)
+
+// TimeQueryResult holds dist(S, ·, τ) for one departure time: the earliest
+// absolute arrival time at every node.
+type TimeQueryResult struct {
+	Source timetable.StationID
+	Depart timeutil.Ticks
+	Run    stats.Run
+
+	g   *graph.Graph
+	arr []timeutil.Ticks
+}
+
+// Arrival returns the earliest arrival at a node.
+func (r *TimeQueryResult) Arrival(v graph.NodeID) timeutil.Ticks { return r.arr[v] }
+
+// StationArrival returns the earliest arrival at a station.
+func (r *TimeQueryResult) StationArrival(s timetable.StationID) timeutil.Ticks {
+	return r.arr[r.g.StationNode(s)]
+}
+
+// TimeQuery computes dist(S, ·, τ) with the time-dependent Dijkstra variant
+// of Section 2 ("time-query"): nodes are visited in non-decreasing arrival
+// time from the source; the label-setting property guarantees each node is
+// settled at most once.
+//
+// Initialization matches the profile search convention: the station node of
+// S and every route node at S are seeded at τ, so no transfer time is paid
+// for boarding the first train.
+func TimeQuery(g *graph.Graph, source timetable.StationID, depart timeutil.Ticks, opts Options) (*TimeQueryResult, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if int(source) < 0 || int(source) >= g.TT.NumStations() {
+		return nil, fmt.Errorf("core: source station %d out of range", source)
+	}
+	if depart < 0 {
+		return nil, fmt.Errorf("core: negative departure time %d", depart)
+	}
+	start := time.Now()
+	res := &TimeQueryResult{Source: source, Depart: depart, g: g}
+	res.arr = make([]timeutil.Ticks, g.NumNodes())
+	for i := range res.arr {
+		res.arr[i] = timeutil.Infinity
+	}
+	var c stats.Counters
+	heap := opts.newHeap(g.NumNodes())
+	settled := make([]bool, g.NumNodes())
+
+	push := func(v graph.NodeID, key timeutil.Ticks) {
+		if !settled[v] && heap.Push(int32(v), key) {
+			c.QueuePushes++
+		}
+	}
+	sn := g.StationNode(source)
+	push(sn, depart)
+	for _, e := range g.OutEdges(sn) {
+		// Seed route nodes of S without the boarding transfer time.
+		if e.Kind == graph.Board {
+			push(e.Head, depart)
+		}
+	}
+
+	for !heap.Empty() {
+		it, key := heap.PopMin()
+		c.QueuePops++
+		v := graph.NodeID(it)
+		settled[v] = true
+		res.arr[v] = key
+		c.SettledConns++
+		edges := g.OutEdges(v)
+		for e := range edges {
+			arrTent, _ := g.EvalEdge(&edges[e], key)
+			c.Relaxed++
+			if !arrTent.IsInf() {
+				push(edges[e].Head, arrTent)
+			}
+		}
+	}
+	res.Run.PerThread = []stats.Counters{c}
+	res.Run.Total = c
+	res.Run.Elapsed = time.Since(start)
+	return res, nil
+}

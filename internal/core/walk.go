@@ -1,0 +1,100 @@
+package core
+
+import (
+	"sort"
+
+	"transit/internal/timetable"
+	"transit/internal/timeutil"
+)
+
+// walkDistances computes the shortest walking time from the source to every
+// footpath-reachable station (transitive closure over footpaths), including
+// the source itself at 0. Footpath graphs are tiny, so a simple scan-based
+// Dijkstra suffices.
+func walkDistances(tt *timetable.Timetable, source timetable.StationID) map[timetable.StationID]timeutil.Ticks {
+	dist := map[timetable.StationID]timeutil.Ticks{source: 0}
+	if len(tt.Footpaths) == 0 {
+		return dist
+	}
+	settled := map[timetable.StationID]bool{}
+	for {
+		var u timetable.StationID = -1
+		best := timeutil.Infinity
+		for s, d := range dist {
+			if !settled[s] && d < best {
+				u, best = s, d
+			}
+		}
+		if u < 0 {
+			return dist
+		}
+		settled[u] = true
+		for _, f := range tt.FootpathsFrom(u) {
+			if nd := best + f.Walk; nd < distOrInf(dist, f.To) {
+				dist[f.To] = nd
+			}
+		}
+	}
+}
+
+func distOrInf(m map[timetable.StationID]timeutil.Ticks, s timetable.StationID) timeutil.Ticks {
+	if d, ok := m[s]; ok {
+		return d
+	}
+	return timeutil.Infinity
+}
+
+// extendedConns builds the profile search's seed list for a source with
+// footpaths: every outgoing connection of every walk-reachable station
+// (including the source itself), with *effective departures* — the latest
+// time one must leave the source on foot to catch the connection. Without
+// footpaths this degenerates to the paper's conn(S).
+//
+// Effective departures may be negative (leaving "yesterday" to catch an
+// early connection after a walk); the periodic profile machinery wraps
+// them. The list is sorted by effective departure, preserving the ordering
+// assumption (j > i ⇒ dep_j ≥ dep_i) that self-pruning and the stopping
+// criterion rely on.
+//
+// Boarding at a walked-to station W pays the transfer buffer T(W), matching
+// the graph model where footpaths arrive at station nodes and boarding
+// costs T; only departures from the source itself are buffer-free (the
+// paper's convention of seeding route nodes directly).
+func extendedConns(tt *timetable.Timetable, source timetable.StationID, walk map[timetable.StationID]timeutil.Ticks) ([]timetable.ConnID, []timeutil.Ticks) {
+	if len(walk) == 1 {
+		// No footpaths from the source: exactly the paper's conn(S).
+		ids := tt.Outgoing(source)
+		deps := make([]timeutil.Ticks, len(ids))
+		for i, id := range ids {
+			deps[i] = tt.Connections[id].Dep
+		}
+		return ids, deps
+	}
+	type seed struct {
+		id  timetable.ConnID
+		dep timeutil.Ticks
+	}
+	var seeds []seed
+	for s, w := range walk {
+		lead := w
+		if s != source {
+			lead += tt.Stations[s].Transfer
+		}
+		for _, id := range tt.Outgoing(s) {
+			seeds = append(seeds, seed{id: id, dep: tt.Connections[id].Dep - lead})
+		}
+	}
+	sort.Slice(seeds, func(i, j int) bool {
+		if seeds[i].dep != seeds[j].dep {
+			return seeds[i].dep < seeds[j].dep
+		}
+		return seeds[i].id < seeds[j].id
+	})
+	ids := make([]timetable.ConnID, len(seeds))
+	deps := make([]timeutil.Ticks, len(seeds))
+	for i, s := range seeds {
+		ids[i] = s.id
+		deps[i] = s.dep
+	}
+	return ids, deps
+}

@@ -1,0 +1,146 @@
+// Package dtable implements the distance table D of Section 4: for a set of
+// transfer stations S_trans, the full profile distance D(S, T, ·) between
+// every ordered pair, precomputed by running the parallel one-to-all
+// profile search from each transfer station. D(S, T, τ) is the arrival time
+// at T when departing S at τ, without any transfer times at S and T.
+package dtable
+
+import (
+	"fmt"
+	"sync"
+
+	"transit/internal/timetable"
+	"transit/internal/timeutil"
+	"transit/internal/ttf"
+)
+
+// profileSearcher abstracts the one-to-all algorithm so dtable does not
+// import core (which imports dtable for query pruning). The core package
+// provides the implementation at call sites via BuildFunc.
+type profileSearcher func(source timetable.StationID) (StationProfiler, error)
+
+// StationProfiler is the slice of core.ProfileResult that dtable needs.
+type StationProfiler interface {
+	StationProfile(t timetable.StationID) (*ttf.Function, error)
+}
+
+// Table is the precomputed distance table over the transfer stations.
+// Immutable after Build; safe for concurrent readers.
+type Table struct {
+	period timeutil.Period
+	// index maps a station to its dense transfer index, or -1.
+	index []int32
+	// stations lists the transfer stations in increasing ID order.
+	stations []timetable.StationID
+	// prof[i][j] is the reduced profile from stations[i] to stations[j].
+	prof [][]*ttf.Function
+}
+
+// Build precomputes the table for the marked transfer stations by invoking
+// search (a one-to-all profile search) from each of them, workers of
+// different source stations running concurrently up to parallelism.
+func Build(period timeutil.Period, numStations int, isTransfer []bool, parallelism int, search profileSearcher) (*Table, error) {
+	if len(isTransfer) != numStations {
+		return nil, fmt.Errorf("dtable: isTransfer has %d entries for %d stations", len(isTransfer), numStations)
+	}
+	t := &Table{period: period, index: make([]int32, numStations)}
+	for s := 0; s < numStations; s++ {
+		t.index[s] = -1
+		if isTransfer[s] {
+			t.index[s] = int32(len(t.stations))
+			t.stations = append(t.stations, timetable.StationID(s))
+		}
+	}
+	n := len(t.stations)
+	t.prof = make([][]*ttf.Function, n)
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	sem := make(chan struct{}, parallelism)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := search(t.stations[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			row := make([]*ttf.Function, n)
+			for j := 0; j < n; j++ {
+				f, err := res.StationProfile(t.stations[j])
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				row[j] = f
+			}
+			t.prof[i] = row
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// NumTransfer returns |S_trans|.
+func (t *Table) NumTransfer() int { return len(t.stations) }
+
+// Stations returns the transfer stations in increasing ID order (shared
+// slice; do not modify).
+func (t *Table) Stations() []timetable.StationID { return t.stations }
+
+// IsTransfer reports whether s is a transfer station. Unknown station IDs
+// are simply not transfer stations.
+func (t *Table) IsTransfer(s timetable.StationID) bool {
+	return int(s) >= 0 && int(s) < len(t.index) && t.index[s] >= 0
+}
+
+// Profile returns the reduced profile function from one transfer station to
+// another; both must be transfer stations.
+func (t *Table) Profile(from, to timetable.StationID) (*ttf.Function, error) {
+	if !t.IsTransfer(from) || !t.IsTransfer(to) {
+		return nil, fmt.Errorf("dtable: %d→%d not a transfer-station pair", from, to)
+	}
+	return t.prof[t.index[from]][t.index[to]], nil
+}
+
+// D returns the arrival time at `to` when departing `from` at the absolute
+// time at: the paper's D(S, T, τ). From == to answers `at` (you are already
+// there). Both stations must be transfer stations; this is a hot inner-loop
+// call, so violations panic rather than allocate errors.
+func (t *Table) D(from, to timetable.StationID, at timeutil.Ticks) timeutil.Ticks {
+	if at.IsInf() {
+		return timeutil.Infinity
+	}
+	fi, ti := t.index[from], t.index[to]
+	if fi < 0 || ti < 0 {
+		panic(fmt.Sprintf("dtable: D(%d,%d) on non-transfer station", from, to))
+	}
+	if fi == ti {
+		return at
+	}
+	return t.prof[fi][ti].EvalArrival(at)
+}
+
+// SizeBytes estimates the memory footprint of the stored profiles: eight
+// bytes per connection point (the figure the paper reports in MiB).
+func (t *Table) SizeBytes() int64 {
+	var pts int64
+	for _, row := range t.prof {
+		for _, f := range row {
+			if f != nil {
+				pts += int64(f.NumPoints())
+			}
+		}
+	}
+	return pts * 8
+}

@@ -1,0 +1,158 @@
+package dtable
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"transit/internal/timetable"
+	"transit/internal/timeutil"
+	"transit/internal/ttf"
+)
+
+// Binary distance-table format v1 (little endian):
+//
+//	magic   [8]byte  "TDTABLE1"
+//	period  int32
+//	numStations int32            (of the network the table was built for)
+//	numTransfer int32
+//	stations    [numTransfer]int32
+//	for each ordered pair (i, j), row-major:
+//	  numPoints int32
+//	  points    [numPoints]{dep int32, w int32}
+
+var magic = [8]byte{'T', 'D', 'T', 'A', 'B', 'L', 'E', '1'}
+
+// Write serializes the table. numStations must be the station count of the
+// network the table belongs to; Read validates it on load.
+func Write(w io.Writer, t *Table, numStations int) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	put := func(v int32) error { return binary.Write(bw, binary.LittleEndian, v) }
+	if err := put(int32(t.period.Len())); err != nil {
+		return err
+	}
+	if err := put(int32(numStations)); err != nil {
+		return err
+	}
+	if err := put(int32(len(t.stations))); err != nil {
+		return err
+	}
+	for _, s := range t.stations {
+		if err := put(int32(s)); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.prof {
+		for _, f := range row {
+			pts := f.Points()
+			if err := put(int32(len(pts))); err != nil {
+				return err
+			}
+			for _, p := range pts {
+				if err := put(int32(p.Dep)); err != nil {
+					return err
+				}
+				if err := put(int32(p.W)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a serialized table, validating it against the expected
+// station count of the network it will be attached to.
+func Read(r io.Reader, wantStations int) (*Table, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("dtable: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("dtable: bad magic %q", m)
+	}
+	get := func() (int32, error) {
+		var v int32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	pi, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if pi <= 0 {
+		return nil, fmt.Errorf("dtable: non-positive period %d", pi)
+	}
+	period := timeutil.NewPeriod(timeutil.Ticks(pi))
+	numStations, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if int(numStations) != wantStations {
+		return nil, fmt.Errorf("dtable: table built for %d stations, network has %d", numStations, wantStations)
+	}
+	numTransfer, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if numTransfer < 0 || numTransfer > numStations {
+		return nil, fmt.Errorf("dtable: invalid transfer count %d", numTransfer)
+	}
+	t := &Table{period: period, index: make([]int32, numStations)}
+	for i := range t.index {
+		t.index[i] = -1
+	}
+	t.stations = make([]timetable.StationID, numTransfer)
+	for i := range t.stations {
+		v, err := get()
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 || v >= numStations {
+			return nil, fmt.Errorf("dtable: transfer station %d out of range", v)
+		}
+		if t.index[v] >= 0 {
+			return nil, fmt.Errorf("dtable: duplicate transfer station %d", v)
+		}
+		t.stations[i] = timetable.StationID(v)
+		t.index[v] = int32(i)
+	}
+	t.prof = make([][]*ttf.Function, numTransfer)
+	for i := range t.prof {
+		row := make([]*ttf.Function, numTransfer)
+		for j := range row {
+			n, err := get()
+			if err != nil {
+				return nil, err
+			}
+			if n < 0 || n > 1<<24 {
+				return nil, fmt.Errorf("dtable: implausible point count %d", n)
+			}
+			pts := make([]ttf.Point, n)
+			for p := range pts {
+				dep, err := get()
+				if err != nil {
+					return nil, err
+				}
+				w, err := get()
+				if err != nil {
+					return nil, err
+				}
+				pts[p] = ttf.Point{Dep: timeutil.Ticks(dep), W: timeutil.Ticks(w)}
+			}
+			f, err := ttf.New(period, pts)
+			if err != nil {
+				return nil, fmt.Errorf("dtable: profile (%d,%d): %w", i, j, err)
+			}
+			f.Reduce() // stored reduced; re-reducing is a cheap no-op pass
+			row[j] = f
+		}
+		t.prof[i] = row
+	}
+	return t, nil
+}

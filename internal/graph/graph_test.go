@@ -1,0 +1,255 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"transit/internal/timetable"
+	"transit/internal/timeutil"
+)
+
+var day = timeutil.NewPeriod(1440)
+
+// lineNetwork: stations A-B-C, one route with two trains, plus a second
+// route B-C with one train.
+func lineNetwork(t *testing.T) *timetable.Timetable {
+	t.Helper()
+	b := timetable.NewBuilder(day)
+	a := b.AddStation("A", 2)
+	bb := b.AddStation("B", 3)
+	c := b.AddStation("C", 2)
+	b.AddTrainRun("t1", []timetable.StationID{a, bb, c}, 480, []timeutil.Ticks{10, 15}, 1)
+	b.AddTrainRun("t2", []timetable.StationID{a, bb, c}, 540, []timeutil.Ticks{10, 15}, 1)
+	b.AddTrainRun("t3", []timetable.StationID{bb, c}, 505, []timeutil.Ticks{9}, 0)
+	tt, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tt
+}
+
+func TestBuildStructure(t *testing.T) {
+	tt := lineNetwork(t)
+	g := Build(tt)
+	// 3 station nodes + route1 has 3 nodes + route2 has 2 nodes = 8.
+	if g.NumNodes() != 8 || g.NumStations() != 3 {
+		t.Fatalf("nodes = %d (%d stations)", g.NumNodes(), g.NumStations())
+	}
+	st := g.Stats()
+	if st.RouteNodes != 5 {
+		t.Fatalf("route nodes = %d, want 5", st.RouteNodes)
+	}
+	// Ride edges: route1 has 2 hops, route2 has 1 hop.
+	if st.RideEdges != 3 {
+		t.Fatalf("ride edges = %d, want 3", st.RideEdges)
+	}
+	// Every node belongs to a station.
+	for n := NodeID(0); int(n) < g.NumNodes(); n++ {
+		s := g.Station(n)
+		if s < 0 || int(s) >= tt.NumStations() {
+			t.Fatalf("node %d has invalid station %d", n, s)
+		}
+		if g.IsStationNode(n) && NodeID(s) != n {
+			t.Fatalf("station node %d maps to station %d", n, s)
+		}
+	}
+}
+
+func TestEdgeKindsAndWeights(t *testing.T) {
+	tt := lineNetwork(t)
+	g := Build(tt)
+	// Station B (id 1) hosts route nodes of both routes → 2 board edges
+	// with weight T(B)=3.
+	edges := g.OutEdges(g.StationNode(1))
+	if len(edges) != 2 {
+		t.Fatalf("station B board edges = %d, want 2", len(edges))
+	}
+	for _, e := range edges {
+		if e.Kind != Board || e.W != 3 {
+			t.Fatalf("bad board edge %+v", e)
+		}
+		if g.Station(e.Head) != 1 {
+			t.Fatalf("board edge leads to route node of station %d", g.Station(e.Head))
+		}
+		// Each route node has an alight edge back with weight 0.
+		back := g.OutEdges(e.Head)
+		foundAlight := false
+		for _, be := range back {
+			if be.Kind == Alight {
+				foundAlight = true
+				if be.W != 0 || be.Head != g.StationNode(1) {
+					t.Fatalf("bad alight edge %+v", be)
+				}
+			}
+		}
+		if !foundAlight {
+			t.Fatal("route node missing alight edge")
+		}
+	}
+}
+
+func TestConnDepartureNodes(t *testing.T) {
+	tt := lineNetwork(t)
+	g := Build(tt)
+	for _, c := range tt.Connections {
+		dep := g.ConnDepartureNode(c.ID)
+		arr := g.ConnArrivalNode(c.ID)
+		if g.Station(dep) != c.From {
+			t.Fatalf("conn %d departs from node of station %d, want %d", c.ID, g.Station(dep), c.From)
+		}
+		if g.Station(arr) != c.To {
+			t.Fatalf("conn %d arrives at node of station %d, want %d", c.ID, g.Station(arr), c.To)
+		}
+		if g.IsStationNode(dep) || g.IsStationNode(arr) {
+			t.Fatal("connection endpoints must be route nodes")
+		}
+		// The ride edge out of dep must contain the connection (unless it
+		// was dominance-reduced away, which cannot happen here).
+		found := false
+		for _, e := range g.OutEdges(dep) {
+			if e.Kind != Ride {
+				continue
+			}
+			for _, rc := range g.RideConns(&e) {
+				if rc.Conn == c.ID {
+					found = true
+					if rc.Dep != c.Dep || rc.Dur != c.Duration() {
+						t.Fatalf("ride conn mismatch: %+v vs %+v", rc, c)
+					}
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("connection %d not found on its ride edge", c.ID)
+		}
+	}
+}
+
+func TestEvalRide(t *testing.T) {
+	tt := lineNetwork(t)
+	g := Build(tt)
+	// Route 1 hop A→B: departures 480 (t1) and 540 (t2), both 10 min.
+	depNode := g.ConnDepartureNode(0)
+	var ride *Edge
+	for i := range g.OutEdges(depNode) {
+		e := &g.OutEdges(depNode)[i]
+		if e.Kind == Ride {
+			ride = e
+		}
+	}
+	if ride == nil {
+		t.Fatal("no ride edge")
+	}
+	tests := []struct {
+		at      timeutil.Ticks
+		wantArr timeutil.Ticks
+	}{
+		{470, 490},   // wait 10 for 480 train
+		{480, 490},   // immediate
+		{481, 550},   // next train at 540
+		{541, 1930},  // missed both → next day 480 train: 541 + (1440-541+480) + 10
+		{1950, 1990}, // day 1, 07:30 → day 1 train at 540+1440
+	}
+	for _, tc := range tests {
+		arr, conn := g.EvalRide(ride, tc.at)
+		if arr != tc.wantArr {
+			t.Errorf("EvalRide(at=%d) = %d, want %d", tc.at, arr, tc.wantArr)
+		}
+		if conn < 0 {
+			t.Errorf("EvalRide(at=%d) returned no connection", tc.at)
+		}
+	}
+}
+
+func TestEvalEdgeConstant(t *testing.T) {
+	tt := lineNetwork(t)
+	g := Build(tt)
+	e := g.OutEdges(g.StationNode(1))[0] // board edge, W=3
+	arr, conn := g.EvalEdge(&e, 500)
+	if arr != 503 || conn != -1 {
+		t.Fatalf("EvalEdge board = (%d,%d)", arr, conn)
+	}
+}
+
+func TestReduceRideConnsDominance(t *testing.T) {
+	conns := []RideConn{
+		{Dep: 480, Dur: 200, Conn: 0}, // arrives 680, dominated by next
+		{Dep: 500, Dur: 30, Conn: 1},  // arrives 530
+		{Dep: 500, Dur: 60, Conn: 2},  // duplicate departure, slower
+		{Dep: 600, Dur: 50, Conn: 3},
+	}
+	out := reduceRideConns(day, conns)
+	if len(out) != 2 || out[0].Conn != 1 || out[1].Conn != 3 {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestReduceRideConnsCircular(t *testing.T) {
+	// 23:00 + 10h dominated by 06:00 + 1h (Δ(1380,360)+60 = 480 < 600).
+	conns := []RideConn{
+		{Dep: 360, Dur: 60, Conn: 0},
+		{Dep: 1380, Dur: 600, Conn: 1},
+	}
+	out := reduceRideConns(day, conns)
+	if len(out) != 1 || out[0].Conn != 0 {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+// EvalRide must equal the brute-force minimum over all (unreduced)
+// departures, on random ride edges.
+func TestEvalRideMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(12)
+		raw := make([]RideConn, n)
+		for i := range raw {
+			raw[i] = RideConn{
+				Dep:  timeutil.Ticks(rng.Intn(1440)),
+				Dur:  timeutil.Ticks(1 + rng.Intn(300)),
+				Conn: timetable.ConnID(i),
+			}
+		}
+		cp := make([]RideConn, n)
+		copy(cp, raw)
+		reduced := reduceRideConns(day, cp)
+		g := &Graph{rideConns: reduced}
+		g.TT = &timetable.Timetable{Period: day}
+		e := Edge{Kind: Ride, First: 0, Num: int32(len(reduced))}
+		for tau := timeutil.Ticks(0); tau < 1440; tau += 17 {
+			best := timeutil.Infinity
+			for _, c := range raw {
+				arr := tau + day.Delta(tau, c.Dep) + c.Dur
+				if arr < best {
+					best = arr
+				}
+			}
+			got, _ := g.EvalRide(&e, tau)
+			if got != best {
+				t.Fatalf("trial %d: EvalRide(%d)=%d, brute=%d\nraw %+v\nreduced %+v",
+					trial, tau, got, best, raw, reduced)
+			}
+		}
+	}
+}
+
+func TestEmptyRideEdge(t *testing.T) {
+	g := &Graph{}
+	g.TT = &timetable.Timetable{Period: day}
+	e := Edge{Kind: Ride, First: 0, Num: 0}
+	arr, conn := g.EvalRide(&e, 100)
+	if !arr.IsInf() || conn != -1 {
+		t.Fatal("empty ride edge must be unreachable")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	tt := lineNetwork(t)
+	g := Build(tt)
+	if g.Stats().String() == "" {
+		t.Fatal("empty stats string")
+	}
+	if g.NumEdges() != len(g.edges) {
+		t.Fatal("NumEdges mismatch")
+	}
+}

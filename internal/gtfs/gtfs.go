@@ -1,0 +1,222 @@
+// Package gtfs loads a minimal subset of the GTFS feed format — the format
+// of the paper's three public inputs (Oahu, Los Angeles, Washington D.C.
+// via Google Transit Data Feeds) — into a timetable. It reads stops.txt,
+// trips.txt and stop_times.txt from a directory, plus transfers.txt when
+// present for minimum transfer times. Calendar handling is deliberately
+// simple: all trips are assumed to belong to one service day, matching the
+// paper's periodic-timetable model.
+package gtfs
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"transit/internal/timetable"
+	"transit/internal/timeutil"
+)
+
+// DefaultTransfer is the minimum transfer time assumed for stops without a
+// transfers.txt entry, in minutes.
+const DefaultTransfer timeutil.Ticks = 2
+
+// Load reads a GTFS directory into a validated timetable.
+func Load(dir string) (*timetable.Timetable, error) {
+	stops, err := readTable(filepath.Join(dir, "stops.txt"), []string{"stop_id"})
+	if err != nil {
+		return nil, err
+	}
+	trips, err := readTable(filepath.Join(dir, "trips.txt"), []string{"trip_id"})
+	if err != nil {
+		return nil, err
+	}
+	stopTimes, err := readTable(filepath.Join(dir, "stop_times.txt"),
+		[]string{"trip_id", "departure_time", "arrival_time", "stop_id", "stop_sequence"})
+	if err != nil {
+		return nil, err
+	}
+
+	b := timetable.NewBuilder(timeutil.NewPeriod(timeutil.DayMinutes))
+	stopID := make(map[string]timetable.StationID, len(stops.rows))
+	for _, row := range stops.rows {
+		id := row[stops.col["stop_id"]]
+		if _, dup := stopID[id]; dup {
+			return nil, fmt.Errorf("gtfs: duplicate stop_id %q", id)
+		}
+		name := id
+		if c, ok := stops.col["stop_name"]; ok && row[c] != "" {
+			name = row[c]
+		}
+		var x, y float64
+		if c, ok := stops.col["stop_lon"]; ok {
+			x, _ = strconv.ParseFloat(row[c], 64)
+		}
+		if c, ok := stops.col["stop_lat"]; ok {
+			y, _ = strconv.ParseFloat(row[c], 64)
+		}
+		stopID[id] = b.AddStationAt(name, DefaultTransfer, x, y)
+	}
+
+	// Optional transfers.txt: min_transfer_time is in seconds. Same-stop
+	// entries set the station's minimum transfer time; entries between
+	// distinct stops become footpaths (walking links).
+	if transfers, err := readTable(filepath.Join(dir, "transfers.txt"), []string{"from_stop_id"}); err == nil {
+		for _, row := range transfers.rows {
+			from, ok := stopID[row[transfers.col["from_stop_id"]]]
+			if !ok {
+				continue
+			}
+			var to timetable.StationID = -1
+			if c, okc := transfers.col["to_stop_id"]; okc {
+				if t, ok2 := stopID[row[c]]; ok2 {
+					to = t
+				}
+			}
+			c, okc := transfers.col["min_transfer_time"]
+			if !okc {
+				continue
+			}
+			secs, err := strconv.Atoi(row[c])
+			if err != nil || secs < 0 {
+				continue
+			}
+			minutes := timeutil.Ticks((secs + 59) / 60)
+			if to < 0 || to == from {
+				b.SetTransfer(from, minutes)
+			} else {
+				b.AddFootpath(from, to, minutes)
+			}
+		}
+	} else if !os.IsNotExist(unwrapPathError(err)) {
+		return nil, err
+	}
+
+	// Group stop_times by trip, ordered by stop_sequence.
+	type stopEvent struct {
+		seq  int
+		stop timetable.StationID
+		arr  timeutil.Ticks
+		dep  timeutil.Ticks
+	}
+	events := make(map[string][]stopEvent)
+	for i, row := range stopTimes.rows {
+		tripID := row[stopTimes.col["trip_id"]]
+		seq, err := strconv.Atoi(row[stopTimes.col["stop_sequence"]])
+		if err != nil {
+			return nil, fmt.Errorf("gtfs: stop_times row %d: bad stop_sequence %q", i+2, row[stopTimes.col["stop_sequence"]])
+		}
+		sid, ok := stopID[row[stopTimes.col["stop_id"]]]
+		if !ok {
+			return nil, fmt.Errorf("gtfs: stop_times row %d: unknown stop_id %q", i+2, row[stopTimes.col["stop_id"]])
+		}
+		arr, err := timeutil.ParseClock(normalizeGTFSTime(row[stopTimes.col["arrival_time"]]))
+		if err != nil {
+			return nil, fmt.Errorf("gtfs: stop_times row %d: %v", i+2, err)
+		}
+		dep, err := timeutil.ParseClock(normalizeGTFSTime(row[stopTimes.col["departure_time"]]))
+		if err != nil {
+			return nil, fmt.Errorf("gtfs: stop_times row %d: %v", i+2, err)
+		}
+		events[tripID] = append(events[tripID], stopEvent{seq: seq, stop: sid, arr: arr, dep: dep})
+	}
+
+	// Emit connections per trip in trips.txt order for determinism.
+	for _, row := range trips.rows {
+		tripID := row[trips.col["trip_id"]]
+		evs, ok := events[tripID]
+		if !ok || len(evs) < 2 {
+			continue // trip without usable stop sequence
+		}
+		// Insertion sort by stop_sequence (GTFS sequences are short).
+		for i := 1; i < len(evs); i++ {
+			for j := i; j > 0 && evs[j-1].seq > evs[j].seq; j-- {
+				evs[j-1], evs[j] = evs[j], evs[j-1]
+			}
+		}
+		z := b.AddTrain(tripID)
+		for h := 0; h+1 < len(evs); h++ {
+			from, to := evs[h], evs[h+1]
+			if to.arr < from.dep {
+				return nil, fmt.Errorf("gtfs: trip %q arrives before departing between sequences %d and %d",
+					tripID, from.seq, to.seq)
+			}
+			if from.stop == to.stop {
+				continue // degenerate repeated stop
+			}
+			day := timeutil.DayMinutes
+			depPoint := from.dep % day
+			arrAbs := depPoint + (to.arr - from.dep)
+			b.AddConnection(z, from.stop, to.stop, depPoint, arrAbs)
+		}
+	}
+	return b.Build()
+}
+
+// normalizeGTFSTime strips GTFS's HH:MM:SS seconds field, rounding down to
+// whole minutes (the model's default tick).
+func normalizeGTFSTime(s string) string {
+	s = strings.TrimSpace(s)
+	parts := strings.Split(s, ":")
+	if len(parts) == 3 {
+		return parts[0] + ":" + parts[1]
+	}
+	return s
+}
+
+// table is a parsed CSV file with a header index.
+type table struct {
+	col  map[string]int
+	rows [][]string
+}
+
+func readTable(path string, required []string) (*table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1
+	r.TrimLeadingSpace = true
+	header, err := r.Read()
+	if err != nil {
+		return nil, fmt.Errorf("gtfs: %s: %v", filepath.Base(path), err)
+	}
+	t := &table{col: make(map[string]int, len(header))}
+	for i, h := range header {
+		t.col[strings.TrimSpace(strings.TrimPrefix(h, "\ufeff"))] = i
+	}
+	for _, req := range required {
+		if _, ok := t.col[req]; !ok {
+			return nil, fmt.Errorf("gtfs: %s: missing required column %q", filepath.Base(path), req)
+		}
+	}
+	for {
+		row, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("gtfs: %s: %v", filepath.Base(path), err)
+		}
+		if len(row) < len(t.col) {
+			// Pad ragged rows so column lookups stay in range.
+			padded := make([]string, len(t.col))
+			copy(padded, row)
+			row = padded
+		}
+		t.rows = append(t.rows, row)
+	}
+	return t, nil
+}
+
+func unwrapPathError(err error) error {
+	if pe, ok := err.(*os.PathError); ok {
+		return pe.Err
+	}
+	return err
+}

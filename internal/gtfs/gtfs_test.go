@@ -1,0 +1,204 @@
+package gtfs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"transit/internal/timeutil"
+)
+
+func writeFeed(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func validFeed() map[string]string {
+	return map[string]string{
+		"stops.txt": "stop_id,stop_name,stop_lat,stop_lon\n" +
+			"A,Alpha,21.3,-157.8\n" +
+			"B,Beta,21.35,-157.9\n" +
+			"C,Gamma,21.4,-157.95\n",
+		"trips.txt": "route_id,service_id,trip_id\n" +
+			"r1,wk,t1\n" +
+			"r1,wk,t2\n",
+		"stop_times.txt": "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n" +
+			"t1,08:00:00,08:00:00,A,1\n" +
+			"t1,08:10:00,08:11:00,B,2\n" +
+			"t1,08:20:00,08:20:00,C,3\n" +
+			"t2,09:00:00,09:00:00,A,1\n" +
+			"t2,09:10:00,09:11:00,B,2\n" +
+			"t2,09:20:00,09:20:00,C,3\n",
+	}
+}
+
+func TestLoadValidFeed(t *testing.T) {
+	dir := writeFeed(t, validFeed())
+	tt, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.NumStations() != 3 || tt.NumTrains() != 2 || tt.NumConnections() != 4 {
+		t.Fatalf("sizes: %v", tt.Stats())
+	}
+	// Both trips share the station sequence → one route.
+	if len(tt.Routes()) != 1 {
+		t.Fatalf("routes = %d, want 1", len(tt.Routes()))
+	}
+	c := tt.Connections[0]
+	if c.Dep != 480 || c.Arr != 490 {
+		t.Fatalf("first hop times: %+v", c)
+	}
+	// Dwell at B: departs 08:11.
+	c = tt.Connections[1]
+	if c.Dep != 491 || c.Arr != 500 {
+		t.Fatalf("second hop times: %+v", c)
+	}
+	if tt.Stations[0].Name != "Alpha" || tt.Stations[0].Transfer != DefaultTransfer {
+		t.Fatalf("station meta wrong: %+v", tt.Stations[0])
+	}
+}
+
+func TestLoadTransfers(t *testing.T) {
+	files := validFeed()
+	files["transfers.txt"] = "from_stop_id,to_stop_id,transfer_type,min_transfer_time\n" +
+		"A,A,2,300\n" + // 300 s → 5 min
+		"B,B,2,90\n" + // 90 s → 2 min (rounded up)
+		"Z,Z,2,60\n" // unknown stop: ignored
+	dir := writeFeed(t, files)
+	tt, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Stations[0].Transfer != 5 {
+		t.Fatalf("A transfer = %d, want 5", tt.Stations[0].Transfer)
+	}
+	if tt.Stations[1].Transfer != 2 {
+		t.Fatalf("B transfer = %d, want 2", tt.Stations[1].Transfer)
+	}
+}
+
+func TestLoadPastMidnight(t *testing.T) {
+	files := validFeed()
+	files["stop_times.txt"] = "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n" +
+		"t1,23:50:00,23:50:00,A,1\n" +
+		"t1,24:10:00,24:10:00,B,2\n" +
+		"t2,25:00:00,25:00:00,A,1\n" +
+		"t2,25:30:00,25:30:00,B,2\n"
+	dir := writeFeed(t, files)
+	tt, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tt.Connections[0]
+	if c.Dep != 1430 || c.Arr != 1450 {
+		t.Fatalf("overnight hop: %+v", c)
+	}
+	// 25:00 wraps to 01:00 as a departure time point.
+	c = tt.Connections[1]
+	if c.Dep != 60 || c.Arr != 90 {
+		t.Fatalf("wrapped hop: %+v", c)
+	}
+}
+
+func TestLoadUnsortedStopSequence(t *testing.T) {
+	files := validFeed()
+	files["stop_times.txt"] = "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n" +
+		"t1,08:20:00,08:20:00,C,30\n" +
+		"t1,08:00:00,08:00:00,A,10\n" +
+		"t1,08:10:00,08:11:00,B,20\n" +
+		"t2,09:00:00,09:00:00,A,1\n" +
+		"t2,09:20:00,09:20:00,B,2\n"
+	dir := writeFeed(t, files)
+	tt, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Connections[0].From != 0 || tt.Connections[0].To != 1 {
+		t.Fatalf("sequence sorting wrong: %+v", tt.Connections[0])
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	t.Run("missing file", func(t *testing.T) {
+		if _, err := Load(t.TempDir()); err == nil {
+			t.Fatal("empty dir accepted")
+		}
+	})
+	t.Run("missing column", func(t *testing.T) {
+		files := validFeed()
+		files["stops.txt"] = "stop_name\nAlpha\n"
+		if _, err := Load(writeFeed(t, files)); err == nil {
+			t.Fatal("missing stop_id accepted")
+		}
+	})
+	t.Run("duplicate stop", func(t *testing.T) {
+		files := validFeed()
+		files["stops.txt"] = "stop_id\nA\nA\n"
+		if _, err := Load(writeFeed(t, files)); err == nil {
+			t.Fatal("duplicate stop accepted")
+		}
+	})
+	t.Run("unknown stop in stop_times", func(t *testing.T) {
+		files := validFeed()
+		files["stop_times.txt"] = "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n" +
+			"t1,08:00:00,08:00:00,NOPE,1\n" +
+			"t1,08:10:00,08:10:00,B,2\n"
+		if _, err := Load(writeFeed(t, files)); err == nil {
+			t.Fatal("unknown stop accepted")
+		}
+	})
+	t.Run("bad time", func(t *testing.T) {
+		files := validFeed()
+		files["stop_times.txt"] = "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n" +
+			"t1,notatime,08:00:00,A,1\n" +
+			"t1,08:10:00,08:10:00,B,2\n"
+		if _, err := Load(writeFeed(t, files)); err == nil {
+			t.Fatal("bad time accepted")
+		}
+	})
+	t.Run("time travel", func(t *testing.T) {
+		files := validFeed()
+		files["stop_times.txt"] = "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n" +
+			"t1,08:00:00,08:00:00,A,1\n" +
+			"t1,07:00:00,07:00:00,B,2\n"
+		if _, err := Load(writeFeed(t, files)); err == nil {
+			t.Fatal("arrival before departure accepted")
+		}
+	})
+}
+
+func TestLoadSkipsSingleStopTrips(t *testing.T) {
+	files := validFeed()
+	files["stop_times.txt"] = "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n" +
+		"t1,08:00:00,08:00:00,A,1\n" + // single stop: no connections
+		"t2,09:00:00,09:00:00,A,1\n" +
+		"t2,09:10:00,09:10:00,B,2\n"
+	dir := writeFeed(t, files)
+	tt, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.NumConnections() != 1 {
+		t.Fatalf("connections = %d, want 1", tt.NumConnections())
+	}
+}
+
+func TestNormalizeGTFSTime(t *testing.T) {
+	if normalizeGTFSTime("08:15:42") != "08:15" {
+		t.Fatal("seconds not stripped")
+	}
+	if normalizeGTFSTime(" 08:15 ") != "08:15" {
+		t.Fatal("whitespace not handled")
+	}
+	got, err := timeutil.ParseClock(normalizeGTFSTime("25:10:00"))
+	if err != nil || got != 1510 {
+		t.Fatal("past-midnight GTFS time broken")
+	}
+}

@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{SettledConns: 1, PrunedConns: 2, QueuePushes: 3, QueuePops: 4, Relaxed: 5}
+	b := Counters{SettledConns: 10, PrunedConns: 20, QueuePushes: 30, QueuePops: 40, Relaxed: 50}
+	a.Add(b)
+	if a.SettledConns != 11 || a.PrunedConns != 22 || a.QueuePushes != 33 || a.QueuePops != 44 || a.Relaxed != 55 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+	if !strings.Contains(a.String(), "settled=11") {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestRunCriticalPath(t *testing.T) {
+	r := Run{PerThread: []Counters{{SettledConns: 10}, {SettledConns: 30}, {SettledConns: 20}}}
+	if r.MaxThreadSettled() != 30 {
+		t.Fatalf("MaxThreadSettled = %d", r.MaxThreadSettled())
+	}
+	seq := Run{Total: Counters{SettledConns: 60}}
+	if got := r.IdealSpeedup(&seq); got != 2.0 {
+		t.Fatalf("IdealSpeedup = %f, want 2", got)
+	}
+	empty := Run{}
+	if empty.IdealSpeedup(&seq) != 1 {
+		t.Fatal("empty run speedup must be 1")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	var a Aggregate
+	if a.MeanSettled() != 0 || a.MeanElapsed() != 0 || a.MeanMaxThreadSettled() != 0 {
+		t.Fatal("empty aggregate means must be 0")
+	}
+	r1 := &Run{Total: Counters{SettledConns: 100}, PerThread: []Counters{{SettledConns: 60}, {SettledConns: 40}}, Elapsed: 2 * time.Millisecond}
+	r2 := &Run{Total: Counters{SettledConns: 300}, PerThread: []Counters{{SettledConns: 200}, {SettledConns: 100}}, Elapsed: 4 * time.Millisecond}
+	a.Observe(r1)
+	a.Observe(r2)
+	if a.Queries != 2 {
+		t.Fatal("Queries wrong")
+	}
+	if a.MeanSettled() != 200 {
+		t.Fatalf("MeanSettled = %f", a.MeanSettled())
+	}
+	if a.MeanMaxThreadSettled() != 130 {
+		t.Fatalf("MeanMaxThreadSettled = %f", a.MeanMaxThreadSettled())
+	}
+	if a.MeanElapsed() != 3*time.Millisecond {
+		t.Fatalf("MeanElapsed = %v", a.MeanElapsed())
+	}
+}

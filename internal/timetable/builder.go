@@ -1,0 +1,92 @@
+package timetable
+
+import (
+	"transit/internal/timeutil"
+)
+
+// Builder assembles a Timetable incrementally. It is the construction path
+// used by the synthetic generators, the GTFS reader, and tests; Build
+// validates and freezes the result.
+type Builder struct {
+	period    timeutil.Period
+	stations  []Station
+	trains    []Train
+	conns     []Connection
+	footpaths []Footpath
+}
+
+// NewBuilder returns an empty builder over the given period.
+func NewBuilder(period timeutil.Period) *Builder {
+	return &Builder{period: period}
+}
+
+// AddStation appends a station and returns its ID.
+func (b *Builder) AddStation(name string, transfer timeutil.Ticks) StationID {
+	id := StationID(len(b.stations))
+	b.stations = append(b.stations, Station{ID: id, Name: name, Transfer: transfer})
+	return id
+}
+
+// AddStationAt appends a station with layout coordinates.
+func (b *Builder) AddStationAt(name string, transfer timeutil.Ticks, x, y float64) StationID {
+	id := b.AddStation(name, transfer)
+	b.stations[id].X, b.stations[id].Y = x, y
+	return id
+}
+
+// SetTransfer overrides the transfer time of an existing station.
+func (b *Builder) SetTransfer(s StationID, transfer timeutil.Ticks) {
+	b.stations[s].Transfer = transfer
+}
+
+// AddTrain appends a train with no connections yet and returns its ID.
+func (b *Builder) AddTrain(name string) TrainID {
+	id := TrainID(len(b.trains))
+	b.trains = append(b.trains, Train{ID: id, Name: name})
+	return id
+}
+
+// AddConnection appends an elementary connection for the given train.
+func (b *Builder) AddConnection(z TrainID, from, to StationID, dep, arr timeutil.Ticks) ConnID {
+	id := ConnID(len(b.conns))
+	b.conns = append(b.conns, Connection{ID: id, Train: z, From: from, To: to, Dep: dep, Arr: arr})
+	return id
+}
+
+// AddTrainRun is a convenience that creates a train passing through the
+// given stations, departing the first at dep, with hop travel times run[i]
+// between stations[i] and stations[i+1] and a constant dwell time at
+// intermediate stops. len(run) must be len(stations)-1. It returns the train
+// ID. Departure time points are wrapped into Π, so runs may extend past
+// midnight.
+func (b *Builder) AddTrainRun(name string, stations []StationID, dep timeutil.Ticks, run []timeutil.Ticks, dwell timeutil.Ticks) TrainID {
+	if len(run) != len(stations)-1 {
+		panic("timetable: AddTrainRun needs len(run) == len(stations)-1")
+	}
+	z := b.AddTrain(name)
+	t := dep
+	for i := 0; i < len(run); i++ {
+		depPoint := b.period.Wrap(t)
+		arrAbs := depPoint + run[i]
+		b.AddConnection(z, stations[i], stations[i+1], depPoint, arrAbs)
+		t = arrAbs + dwell
+	}
+	return z
+}
+
+// AddFootpath appends a directed walking link between two stations.
+func (b *Builder) AddFootpath(from, to StationID, walk timeutil.Ticks) {
+	b.footpaths = append(b.footpaths, Footpath{From: from, To: to, Walk: walk})
+}
+
+// NumStations returns the number of stations added so far.
+func (b *Builder) NumStations() int { return len(b.stations) }
+
+// NumConnections returns the number of connections added so far.
+func (b *Builder) NumConnections() int { return len(b.conns) }
+
+// Build validates and returns the immutable timetable. The builder must not
+// be used afterwards.
+func (b *Builder) Build() (*Timetable, error) {
+	return NewWithFootpaths(b.period, b.stations, b.trains, b.conns, b.footpaths)
+}

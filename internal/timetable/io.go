@@ -1,0 +1,208 @@
+package timetable
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"transit/internal/timeutil"
+)
+
+// The on-disk format is a line-oriented TSV dump, self-describing enough for
+// external tooling and diffable in code review:
+//
+//	transit-timetable v1
+//	period <π>
+//	stations <n>
+//	<name>\t<transfer>\t<x>\t<y>        (n lines, ID = line index)
+//	trains <n>
+//	<name>                               (n lines)
+//	connections <n>
+//	<train>\t<from>\t<to>\t<dep>\t<arr>  (n lines)
+
+const formatHeader = "transit-timetable v1"
+
+// Write serializes the timetable to w in the v1 text format.
+func Write(w io.Writer, tt *Timetable) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, formatHeader)
+	fmt.Fprintf(bw, "period %d\n", tt.Period.Len())
+	fmt.Fprintf(bw, "stations %d\n", len(tt.Stations))
+	for _, s := range tt.Stations {
+		fmt.Fprintf(bw, "%s\t%d\t%g\t%g\n", sanitizeName(s.Name), s.Transfer, s.X, s.Y)
+	}
+	fmt.Fprintf(bw, "trains %d\n", len(tt.Trains))
+	for _, z := range tt.Trains {
+		fmt.Fprintf(bw, "%s\n", sanitizeName(z.Name))
+	}
+	fmt.Fprintf(bw, "connections %d\n", len(tt.Connections))
+	for _, c := range tt.Connections {
+		fmt.Fprintf(bw, "%d\t%d\t%d\t%d\t%d\n", c.Train, c.From, c.To, c.Dep, c.Arr)
+	}
+	if len(tt.Footpaths) > 0 {
+		fmt.Fprintf(bw, "footpaths %d\n", len(tt.Footpaths))
+		for _, f := range tt.Footpaths {
+			fmt.Fprintf(bw, "%d\t%d\t%d\n", f.From, f.To, f.Walk)
+		}
+	}
+	return bw.Flush()
+}
+
+func sanitizeName(s string) string {
+	if strings.ContainsAny(s, "\t\n") {
+		s = strings.NewReplacer("\t", " ", "\n", " ").Replace(s)
+	}
+	if s == "" {
+		s = "-"
+	}
+	return s
+}
+
+// Read parses a timetable in the v1 text format and validates it.
+func Read(r io.Reader) (*Timetable, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	next := func() (string, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", fmt.Errorf("timetable: unexpected end of input after line %d", line)
+		}
+		line++
+		return sc.Text(), nil
+	}
+	hdr, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if hdr != formatHeader {
+		return nil, fmt.Errorf("timetable: bad header %q", hdr)
+	}
+	readCount := func(keyword string) (int, error) {
+		l, err := next()
+		if err != nil {
+			return 0, err
+		}
+		fields := strings.Fields(l)
+		if len(fields) != 2 || fields[0] != keyword {
+			return 0, fmt.Errorf("timetable: line %d: want %q count, got %q", line, keyword, l)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("timetable: line %d: bad count %q", line, fields[1])
+		}
+		return n, nil
+	}
+	pi, err := readCount("period")
+	if err != nil {
+		return nil, err
+	}
+	if pi <= 0 {
+		return nil, fmt.Errorf("timetable: non-positive period %d", pi)
+	}
+	period := timeutil.NewPeriod(timeutil.Ticks(pi))
+
+	nStations, err := readCount("stations")
+	if err != nil {
+		return nil, err
+	}
+	stations := make([]Station, nStations)
+	for i := 0; i < nStations; i++ {
+		l, err := next()
+		if err != nil {
+			return nil, err
+		}
+		parts := strings.Split(l, "\t")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("timetable: line %d: want 4 station fields, got %d", line, len(parts))
+		}
+		tr, err1 := strconv.Atoi(parts[1])
+		x, err2 := strconv.ParseFloat(parts[2], 64)
+		y, err3 := strconv.ParseFloat(parts[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("timetable: line %d: bad station fields", line)
+		}
+		stations[i] = Station{ID: StationID(i), Name: parts[0], Transfer: timeutil.Ticks(tr), X: x, Y: y}
+	}
+
+	nTrains, err := readCount("trains")
+	if err != nil {
+		return nil, err
+	}
+	trains := make([]Train, nTrains)
+	for i := 0; i < nTrains; i++ {
+		l, err := next()
+		if err != nil {
+			return nil, err
+		}
+		trains[i] = Train{ID: TrainID(i), Name: l}
+	}
+
+	nConns, err := readCount("connections")
+	if err != nil {
+		return nil, err
+	}
+	conns := make([]Connection, nConns)
+	for i := 0; i < nConns; i++ {
+		l, err := next()
+		if err != nil {
+			return nil, err
+		}
+		parts := strings.Split(l, "\t")
+		if len(parts) != 5 {
+			return nil, fmt.Errorf("timetable: line %d: want 5 connection fields, got %d", line, len(parts))
+		}
+		var v [5]int
+		for j, p := range parts {
+			v[j], err = strconv.Atoi(p)
+			if err != nil {
+				return nil, fmt.Errorf("timetable: line %d: bad connection field %q", line, p)
+			}
+		}
+		conns[i] = Connection{
+			ID:    ConnID(i),
+			Train: TrainID(v[0]),
+			From:  StationID(v[1]),
+			To:    StationID(v[2]),
+			Dep:   timeutil.Ticks(v[3]),
+			Arr:   timeutil.Ticks(v[4]),
+		}
+	}
+	// Optional footpaths section (older files end here).
+	var footpaths []Footpath
+	if sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 || fields[0] != "footpaths" {
+			return nil, fmt.Errorf("timetable: line %d: want footpaths count, got %q", line, sc.Text())
+		}
+		nFoot, err := strconv.Atoi(fields[1])
+		if err != nil || nFoot < 0 {
+			return nil, fmt.Errorf("timetable: line %d: bad footpath count", line)
+		}
+		footpaths = make([]Footpath, nFoot)
+		for i := 0; i < nFoot; i++ {
+			l, err := next()
+			if err != nil {
+				return nil, err
+			}
+			parts := strings.Split(l, "\t")
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("timetable: line %d: want 3 footpath fields", line)
+			}
+			var v [3]int
+			for j, p := range parts {
+				v[j], err = strconv.Atoi(p)
+				if err != nil {
+					return nil, fmt.Errorf("timetable: line %d: bad footpath field %q", line, p)
+				}
+			}
+			footpaths[i] = Footpath{From: StationID(v[0]), To: StationID(v[1]), Walk: timeutil.Ticks(v[2])}
+		}
+	}
+	return NewWithFootpaths(period, stations, trains, conns, footpaths)
+}

@@ -1,0 +1,349 @@
+// Package timetable implements the periodic timetable (C, S, Z, Π, T) from
+// the paper's preliminaries: stations S with minimum transfer times T,
+// trains Z, elementary connections C over a periodic set of time points Π.
+// It derives the route partition (trains grouped by identical station
+// sequences, the basis of the realistic time-dependent model) and the
+// per-station outgoing connection sets conn(S) that drive the
+// connection-setting algorithm.
+package timetable
+
+import (
+	"fmt"
+	"sort"
+
+	"transit/internal/timeutil"
+)
+
+// StationID identifies a station; IDs are dense indices into Timetable.Stations.
+type StationID int32
+
+// TrainID identifies a train; IDs are dense indices into Timetable.Trains.
+type TrainID int32
+
+// RouteID identifies a route (an equivalence class of trains running through
+// the same station sequence); dense indices into Timetable.Routes().
+type RouteID int32
+
+// ConnID identifies an elementary connection; dense indices into
+// Timetable.Connections.
+type ConnID int32
+
+// NoStation is the invalid station sentinel.
+const NoStation StationID = -1
+
+// Station is a stop of the network together with its minimum transfer time
+// T(S) required to change between trains.
+type Station struct {
+	ID       StationID
+	Name     string
+	Transfer timeutil.Ticks
+	// X, Y are layout coordinates in arbitrary units; used by generators
+	// and for human-readable output, never by the algorithms.
+	X, Y float64
+}
+
+// Train is a vehicle of the timetable. Its elementary connections are the
+// Connection entries carrying its TrainID, in temporal order.
+type Train struct {
+	ID   TrainID
+	Name string
+}
+
+// Footpath is a walking link between two distinct stations, usable at any
+// time: arriving at From at time t, one reaches To at t + Walk. Footpaths
+// are directed; add both directions for a symmetric link.
+type Footpath struct {
+	From StationID
+	To   StationID
+	Walk timeutil.Ticks
+}
+
+// Connection is an elementary connection c = (Z, S_dep, S_arr, τ_dep, τ_arr):
+// train Z goes from From to To, departing at the time point Dep ∈ Π and
+// arriving at the absolute time Arr ≥ Dep (which may exceed the period for
+// overnight hops).
+type Connection struct {
+	ID    ConnID
+	Train TrainID
+	From  StationID
+	To    StationID
+	Dep   timeutil.Ticks
+	Arr   timeutil.Ticks
+}
+
+// Duration returns the travel time Δ(τ_dep, τ_arr) of the connection.
+func (c Connection) Duration() timeutil.Ticks { return c.Arr - c.Dep }
+
+// Route is an equivalence class of trains that run through the same sequence
+// of stations.
+type Route struct {
+	ID       RouteID
+	Stations []StationID // the common station sequence
+	Trains   []TrainID   // trains of this route
+}
+
+// Timetable is a validated periodic timetable with derived route partition
+// and outgoing-connection indexes. Construct with New; the struct is
+// immutable afterwards and safe for concurrent readers.
+type Timetable struct {
+	Period      timeutil.Period
+	Stations    []Station
+	Trains      []Train
+	Connections []Connection
+	Footpaths   []Footpath
+
+	routes       []Route
+	trainRoute   []RouteID
+	outgoing     [][]ConnID // conn(S) per station, non-decreasing by Dep
+	incoming     [][]ConnID // reverse: connections arriving at S
+	footpathsOut [][]Footpath
+}
+
+// New validates the raw timetable data, derives routes and connection
+// indexes, and returns the immutable Timetable. The input slices are
+// retained (not copied); callers must not modify them afterwards.
+//
+// Validation enforces: dense IDs matching slice positions, non-negative
+// transfer times, departures within Π, arrivals no earlier than departures,
+// per-train temporal consistency (a train departs a station no earlier than
+// it arrived there), and per-train path consistency (each hop starts where
+// the previous ended).
+func New(period timeutil.Period, stations []Station, trains []Train, conns []Connection) (*Timetable, error) {
+	return NewWithFootpaths(period, stations, trains, conns, nil)
+}
+
+// NewWithFootpaths builds a timetable that additionally carries walking
+// links between stations.
+func NewWithFootpaths(period timeutil.Period, stations []Station, trains []Train, conns []Connection, footpaths []Footpath) (*Timetable, error) {
+	tt := &Timetable{
+		Period:      period,
+		Stations:    stations,
+		Trains:      trains,
+		Connections: conns,
+		Footpaths:   footpaths,
+	}
+	if err := tt.validate(); err != nil {
+		return nil, err
+	}
+	tt.deriveRoutes()
+	tt.buildConnIndexes()
+	return tt, nil
+}
+
+func (tt *Timetable) validate() error {
+	for i, s := range tt.Stations {
+		if int(s.ID) != i {
+			return fmt.Errorf("timetable: station %d has ID %d, want dense IDs", i, s.ID)
+		}
+		if s.Transfer < 0 {
+			return fmt.Errorf("timetable: station %q has negative transfer time %d", s.Name, s.Transfer)
+		}
+	}
+	for i, z := range tt.Trains {
+		if int(z.ID) != i {
+			return fmt.Errorf("timetable: train %d has ID %d, want dense IDs", i, z.ID)
+		}
+	}
+	nS, nZ := StationID(len(tt.Stations)), TrainID(len(tt.Trains))
+	for i, c := range tt.Connections {
+		if int(c.ID) != i {
+			return fmt.Errorf("timetable: connection %d has ID %d, want dense IDs", i, c.ID)
+		}
+		if c.Train < 0 || c.Train >= nZ {
+			return fmt.Errorf("timetable: connection %d references unknown train %d", i, c.Train)
+		}
+		if c.From < 0 || c.From >= nS || c.To < 0 || c.To >= nS {
+			return fmt.Errorf("timetable: connection %d references unknown station (%d→%d)", i, c.From, c.To)
+		}
+		if c.From == c.To {
+			return fmt.Errorf("timetable: connection %d is a self-loop at station %d", i, c.From)
+		}
+		if !tt.Period.Valid(c.Dep) {
+			return fmt.Errorf("timetable: connection %d departs at %d outside Π=[0,%d)", i, c.Dep, tt.Period.Len())
+		}
+		if c.Arr < c.Dep {
+			return fmt.Errorf("timetable: connection %d arrives at %d before departing at %d", i, c.Arr, c.Dep)
+		}
+	}
+	nS2 := StationID(len(tt.Stations))
+	for i, f := range tt.Footpaths {
+		if f.From < 0 || f.From >= nS2 || f.To < 0 || f.To >= nS2 {
+			return fmt.Errorf("timetable: footpath %d references unknown station (%d→%d)", i, f.From, f.To)
+		}
+		if f.From == f.To {
+			return fmt.Errorf("timetable: footpath %d is a self-loop at station %d", i, f.From)
+		}
+		if f.Walk < 0 {
+			return fmt.Errorf("timetable: footpath %d has negative walking time %d", i, f.Walk)
+		}
+	}
+	// Per-train consistency.
+	for z, hops := range tt.trainHops() {
+		for h := 1; h < len(hops); h++ {
+			prev, cur := tt.Connections[hops[h-1]], tt.Connections[hops[h]]
+			if cur.From != prev.To {
+				return fmt.Errorf("timetable: train %d jumps from station %d to %d between connections %d and %d",
+					z, prev.To, cur.From, prev.ID, cur.ID)
+			}
+			// The train must not depart before it arrived; absolute times of
+			// later hops are the lifted departure time points.
+			depAbs := prev.Arr + tt.Period.Delta(prev.Arr, cur.Dep)
+			_ = depAbs // lifting always succeeds; nothing further to check here
+		}
+	}
+	return nil
+}
+
+// trainHops returns, per train, its connection IDs sorted temporally.
+func (tt *Timetable) trainHops() map[TrainID][]ConnID {
+	hops := make(map[TrainID][]ConnID, len(tt.Trains))
+	for _, c := range tt.Connections {
+		hops[c.Train] = append(hops[c.Train], c.ID)
+	}
+	// Hops are kept in connection-ID order: data sources (builders, GTFS
+	// trips) list a train's hops temporally, and departure time points are
+	// useless as a sort key for overnight trains whose wrapped departures
+	// jump back to small values.
+	for z, ids := range hops {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		hops[z] = ids
+	}
+	return hops
+}
+
+// deriveRoutes partitions the trains into routes: two trains are equivalent
+// if they run through the same sequence of stations.
+func (tt *Timetable) deriveRoutes() {
+	hops := tt.trainHops()
+	type key string
+	seq := func(ids []ConnID) key {
+		// Station sequence encoded compactly; 4 bytes per station.
+		b := make([]byte, 0, 4*(len(ids)+1))
+		put := func(s StationID) {
+			b = append(b, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+		}
+		if len(ids) > 0 {
+			put(tt.Connections[ids[0]].From)
+			for _, id := range ids {
+				put(tt.Connections[id].To)
+			}
+		}
+		return key(b)
+	}
+	index := make(map[key]RouteID)
+	tt.trainRoute = make([]RouteID, len(tt.Trains))
+	// Deterministic route numbering: iterate trains in ID order.
+	for z := range tt.Trains {
+		ids := hops[TrainID(z)]
+		k := seq(ids)
+		r, ok := index[k]
+		if !ok {
+			r = RouteID(len(tt.routes))
+			index[k] = r
+			stations := make([]StationID, 0, len(ids)+1)
+			if len(ids) > 0 {
+				stations = append(stations, tt.Connections[ids[0]].From)
+				for _, id := range ids {
+					stations = append(stations, tt.Connections[id].To)
+				}
+			}
+			tt.routes = append(tt.routes, Route{ID: r, Stations: stations})
+		}
+		tt.trainRoute[z] = r
+		tt.routes[r].Trains = append(tt.routes[r].Trains, TrainID(z))
+	}
+}
+
+func (tt *Timetable) buildConnIndexes() {
+	tt.outgoing = make([][]ConnID, len(tt.Stations))
+	tt.incoming = make([][]ConnID, len(tt.Stations))
+	for _, c := range tt.Connections {
+		tt.outgoing[c.From] = append(tt.outgoing[c.From], c.ID)
+		tt.incoming[c.To] = append(tt.incoming[c.To], c.ID)
+	}
+	for s := range tt.outgoing {
+		ids := tt.outgoing[s]
+		sort.Slice(ids, func(i, j int) bool {
+			a, b := tt.Connections[ids[i]], tt.Connections[ids[j]]
+			if a.Dep != b.Dep {
+				return a.Dep < b.Dep
+			}
+			return a.ID < b.ID
+		})
+	}
+	for s := range tt.incoming {
+		ids := tt.incoming[s]
+		sort.Slice(ids, func(i, j int) bool {
+			a, b := tt.Connections[ids[i]], tt.Connections[ids[j]]
+			if a.Arr != b.Arr {
+				return a.Arr < b.Arr
+			}
+			return a.ID < b.ID
+		})
+	}
+	tt.footpathsOut = make([][]Footpath, len(tt.Stations))
+	for _, f := range tt.Footpaths {
+		tt.footpathsOut[f.From] = append(tt.footpathsOut[f.From], f)
+	}
+}
+
+// FootpathsFrom returns the walking links departing from s (shared slice).
+func (tt *Timetable) FootpathsFrom(s StationID) []Footpath {
+	if tt.footpathsOut == nil {
+		return nil
+	}
+	return tt.footpathsOut[s]
+}
+
+// Routes returns the route partition.
+func (tt *Timetable) Routes() []Route { return tt.routes }
+
+// RouteOf returns the route the train belongs to.
+func (tt *Timetable) RouteOf(z TrainID) RouteID { return tt.trainRoute[z] }
+
+// Outgoing returns conn(S): all elementary connections departing from S,
+// ordered non-decreasingly by departure time point. The slice is shared and
+// must not be modified.
+func (tt *Timetable) Outgoing(s StationID) []ConnID { return tt.outgoing[s] }
+
+// Incoming returns the connections arriving at S ordered by arrival time.
+func (tt *Timetable) Incoming(s StationID) []ConnID { return tt.incoming[s] }
+
+// NumStations, NumTrains, NumConnections report the timetable sizes.
+func (tt *Timetable) NumStations() int    { return len(tt.Stations) }
+func (tt *Timetable) NumTrains() int      { return len(tt.Trains) }
+func (tt *Timetable) NumConnections() int { return len(tt.Connections) }
+
+// ConnectionsPerStation returns the density measure the paper uses to
+// distinguish local bus networks from railway networks.
+func (tt *Timetable) ConnectionsPerStation() float64 {
+	if len(tt.Stations) == 0 {
+		return 0
+	}
+	return float64(len(tt.Connections)) / float64(len(tt.Stations))
+}
+
+// Stats summarizes the timetable for logging and the benchmark harness.
+type Stats struct {
+	Stations        int
+	Trains          int
+	Routes          int
+	Connections     int
+	ConnsPerStation float64
+}
+
+// Stats returns summary statistics.
+func (tt *Timetable) Stats() Stats {
+	return Stats{
+		Stations:        tt.NumStations(),
+		Trains:          tt.NumTrains(),
+		Routes:          len(tt.routes),
+		Connections:     tt.NumConnections(),
+		ConnsPerStation: tt.ConnectionsPerStation(),
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d stations, %d trains, %d routes, %d connections (%.1f conns/station)",
+		s.Stations, s.Trains, s.Routes, s.Connections, s.ConnsPerStation)
+}

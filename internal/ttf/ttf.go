@@ -1,0 +1,344 @@
+// Package ttf implements the special class of piecewise-linear travel-time
+// functions that arise in public transportation networks (Section 2 of the
+// paper). A function f: Π → N0 is represented by a set of connection points
+// P(f) ⊂ Π × N0; its value is
+//
+//	f(τ) = Δ(τ, τ_f) + w_f   for the (τ_f, w_f) ∈ P(f) minimizing Δ(τ, τ_f)+w_f,
+//
+// i.e. the travel time at τ is the wait for a good connection departing at
+// τ_f plus the duration w_f of the itinerary starting with it.
+//
+// The package provides construction from (departure, duration) pairs, exact
+// and fast evaluation, and the paper's connection reduction: the backward
+// dominance scan that deletes points which are dominated by a point with a
+// later departure and an earlier arrival. A reduced point set is exactly one
+// whose induced staircase of arrival times fulfills the FIFO property.
+package ttf
+
+import (
+	"fmt"
+	"sort"
+
+	"transit/internal/timeutil"
+)
+
+// Point is a connection point (τ, w): departing at time point τ ∈ Π, the
+// itinerary takes w ticks.
+type Point struct {
+	Dep timeutil.Ticks // departure time point, in [0, π)
+	W   timeutil.Ticks // duration (may exceed π for overnight itineraries)
+}
+
+// Arr returns the absolute arrival time τ + w of the point.
+func (p Point) Arr() timeutil.Ticks { return p.Dep + p.W }
+
+// Function is a periodic piecewise-linear travel-time function given by its
+// connection points, sorted by increasing departure time point. A Function
+// with no points is everywhere infinite (unreachable).
+//
+// The zero value is not usable; construct with New or FromArrivals.
+type Function struct {
+	period  timeutil.Period
+	points  []Point
+	reduced bool
+}
+
+// New builds a Function over the given period from arbitrary connection
+// points. Points are copied, validated (departures wrapped into Π, durations
+// non-negative), sorted by departure, and duplicates of the same departure
+// keep only the minimum duration. The result is not necessarily reduced;
+// call Reduce for the canonical form.
+func New(period timeutil.Period, pts []Point) (*Function, error) {
+	cp := make([]Point, 0, len(pts))
+	for _, p := range pts {
+		if p.W < 0 {
+			return nil, fmt.Errorf("ttf: negative duration %d at departure %d", p.W, p.Dep)
+		}
+		if p.W.IsInf() {
+			continue // unreachable points carry no information
+		}
+		cp = append(cp, Point{Dep: period.Wrap(p.Dep), W: p.W})
+	}
+	sort.Slice(cp, func(i, j int) bool {
+		if cp[i].Dep != cp[j].Dep {
+			return cp[i].Dep < cp[j].Dep
+		}
+		return cp[i].W < cp[j].W
+	})
+	// Collapse duplicate departures, keeping the fastest.
+	out := cp[:0]
+	for _, p := range cp {
+		if len(out) > 0 && out[len(out)-1].Dep == p.Dep {
+			continue // sorted by W within equal Dep, first is fastest
+		}
+		out = append(out, p)
+	}
+	return &Function{period: period, points: out}, nil
+}
+
+// MustNew is New panicking on error; for tests and literals.
+func MustNew(period timeutil.Period, pts []Point) *Function {
+	f, err := New(period, pts)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// FromArrivals builds the profile function of a station from the per-
+// connection labels of a profile search: deps[i] is the departure time point
+// τ_dep(c_i) at the source and arrs[i] the absolute arrival time arr(v, i)
+// (timeutil.Infinity when connection i was pruned or does not reach v). The
+// result is reduced.
+func FromArrivals(period timeutil.Period, deps, arrs []timeutil.Ticks) (*Function, error) {
+	if len(deps) != len(arrs) {
+		return nil, fmt.Errorf("ttf: %d departures but %d arrivals", len(deps), len(arrs))
+	}
+	pts := make([]Point, 0, len(deps))
+	for i, d := range deps {
+		a := arrs[i]
+		if a.IsInf() {
+			continue
+		}
+		w := a - d
+		if w < 0 {
+			return nil, fmt.Errorf("ttf: connection %d arrives at %d before departing at %d", i, a, d)
+		}
+		pts = append(pts, Point{Dep: d, W: w})
+	}
+	f, err := New(period, pts)
+	if err != nil {
+		return nil, err
+	}
+	f.Reduce()
+	return f, nil
+}
+
+// Period returns the period the function is defined over.
+func (f *Function) Period() timeutil.Period { return f.period }
+
+// Points returns the connection points (shared slice; callers must not
+// modify it).
+func (f *Function) Points() []Point { return f.points }
+
+// NumPoints returns |P(f)|.
+func (f *Function) NumPoints() int { return len(f.points) }
+
+// Empty reports whether the function is everywhere infinite.
+func (f *Function) Empty() bool { return len(f.points) == 0 }
+
+// Reduced reports whether the point set is known to be dominance-free.
+func (f *Function) Reduced() bool { return f.reduced }
+
+// Reduce deletes all dominated connection points: a point is dominated if
+// waiting for some circularly later departure yields an arrival that is no
+// later. This is the paper's connection reduction, extended circularly so
+// that the first connections of the next period can dominate the last
+// connections of the current one. Reduction never changes the function
+// value. It returns the number of points deleted.
+func (f *Function) Reduce() int {
+	n := len(f.points)
+	if n <= 1 {
+		f.reduced = true
+		return 0
+	}
+	pi := f.period.Len()
+	keep := make([]bool, n)
+	// Backward scan over the points followed by their next-period copies.
+	// minArr tracks the minimum lifted absolute arrival among all points
+	// scanned so far (i.e. all circularly later departures within one
+	// period). A point is deleted when its arrival is not strictly earlier.
+	minArr := timeutil.Infinity
+	for k := 2*n - 1; k >= 0; k-- {
+		i := k % n
+		lift := timeutil.Ticks(0)
+		if k >= n {
+			lift = pi
+		}
+		arr := f.points[i].Arr() + lift
+		if k < n {
+			if arr < minArr {
+				keep[i] = true
+			}
+		}
+		if arr < minArr {
+			minArr = arr
+		}
+	}
+	out := f.points[:0]
+	for i, p := range f.points {
+		if keep[i] {
+			out = append(out, p)
+		}
+	}
+	deleted := n - len(out)
+	f.points = out
+	f.reduced = true
+	return deleted
+}
+
+// EvalExact returns f(τ) by scanning all connection points. It works on
+// unreduced functions and is the reference implementation used in tests.
+func (f *Function) EvalExact(tau timeutil.Ticks) timeutil.Ticks {
+	if len(f.points) == 0 {
+		return timeutil.Infinity
+	}
+	tau = f.period.Wrap(tau)
+	best := timeutil.Infinity
+	for _, p := range f.points {
+		if v := f.period.Delta(tau, p.Dep) + p.W; v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Eval returns the travel time f(τ) when departing at time τ (arbitrary
+// absolute times are wrapped into Π). On reduced functions this is a binary
+// search for the next departure; on unreduced functions it falls back to the
+// exact scan.
+func (f *Function) Eval(tau timeutil.Ticks) timeutil.Ticks {
+	if len(f.points) == 0 {
+		return timeutil.Infinity
+	}
+	if !f.reduced {
+		return f.EvalExact(tau)
+	}
+	tau = f.period.Wrap(tau)
+	// First point with Dep >= tau, wrapping to points[0] on overflow.
+	i := sort.Search(len(f.points), func(i int) bool { return f.points[i].Dep >= tau })
+	if i == len(f.points) {
+		p := f.points[0]
+		return f.period.Len() - tau + p.Dep + p.W
+	}
+	p := f.points[i]
+	return p.Dep - tau + p.W
+}
+
+// EvalArrival returns the absolute arrival time when departing at the
+// absolute time at: at + f(at).
+func (f *Function) EvalArrival(at timeutil.Ticks) timeutil.Ticks {
+	w := f.Eval(at)
+	if w.IsInf() {
+		return timeutil.Infinity
+	}
+	return at + w
+}
+
+// NextDeparture returns the connection point the function would use when
+// departing at τ, i.e. the point with the smallest wait, together with the
+// absolute wait. It requires a reduced function and panics otherwise, since
+// on unreduced functions the next departure need not be optimal.
+func (f *Function) NextDeparture(tau timeutil.Ticks) (Point, timeutil.Ticks) {
+	if !f.reduced {
+		panic("ttf: NextDeparture on unreduced function")
+	}
+	if len(f.points) == 0 {
+		return Point{}, timeutil.Infinity
+	}
+	tau = f.period.Wrap(tau)
+	i := sort.Search(len(f.points), func(i int) bool { return f.points[i].Dep >= tau })
+	if i == len(f.points) {
+		return f.points[0], f.period.Len() - tau + f.points[0].Dep
+	}
+	return f.points[i], f.points[i].Dep - tau
+}
+
+// IsDominanceFree reports whether no point is dominated by a circularly
+// later one, i.e. whether the induced arrival staircase fulfills the FIFO
+// property of the paper. Reduced functions are always dominance-free.
+func (f *Function) IsDominanceFree() bool {
+	n := len(f.points)
+	if n <= 1 {
+		return true
+	}
+	pi := f.period.Len()
+	for i := 0; i < n; i++ {
+		ai := f.points[i].Arr()
+		for d := 1; d < n; d++ {
+			lift := timeutil.Ticks(0)
+			if i+d >= n {
+				lift = pi
+			}
+			if f.points[(i+d)%n].Arr()+lift <= ai {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MinMax returns the minimum and maximum duration over all connection
+// points, or (Infinity, Infinity) for the empty function. The minimum is a
+// global lower bound on f; the maximum plus a full period wait upper-bounds
+// f.
+func (f *Function) MinMax() (min, max timeutil.Ticks) {
+	if len(f.points) == 0 {
+		return timeutil.Infinity, timeutil.Infinity
+	}
+	min, max = f.points[0].W, f.points[0].W
+	for _, p := range f.points[1:] {
+		if p.W < min {
+			min = p.W
+		}
+		if p.W > max {
+			max = p.W
+		}
+	}
+	return min, max
+}
+
+// Merge returns the pointwise minimum of f and g as a new reduced function.
+// Both must share the same period.
+func Merge(f, g *Function) *Function {
+	if f.period.Len() != g.period.Len() {
+		panic("ttf: merging functions with different periods")
+	}
+	pts := make([]Point, 0, len(f.points)+len(g.points))
+	pts = append(pts, f.points...)
+	pts = append(pts, g.points...)
+	m := MustNew(f.period, pts)
+	m.Reduce()
+	return m
+}
+
+// Equal reports whether f and g take the same value at every time point of
+// their (shared) period. It compares reduced forms, which are canonical.
+func Equal(f, g *Function) bool {
+	if f.period.Len() != g.period.Len() {
+		return false
+	}
+	fr, gr := f.clone(), g.clone()
+	fr.Reduce()
+	gr.Reduce()
+	if len(fr.points) != len(gr.points) {
+		return false
+	}
+	for i := range fr.points {
+		if fr.points[i] != gr.points[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *Function) clone() *Function {
+	pts := make([]Point, len(f.points))
+	copy(pts, f.points)
+	return &Function{period: f.period, points: pts, reduced: f.reduced}
+}
+
+// String renders the function compactly for debugging.
+func (f *Function) String() string {
+	if len(f.points) == 0 {
+		return "ttf{∞}"
+	}
+	s := "ttf{"
+	for i, p := range f.points {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("(%d,%d)", p.Dep, p.W)
+	}
+	return s + "}"
+}

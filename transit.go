@@ -1,0 +1,232 @@
+// Package transit is a Go library for computing best connections in public
+// transportation networks. It implements the parallel self-pruning
+// connection-setting profile-search algorithm of Delling, Katz and Pajor
+// ("Parallel Computation of Best Connections in Public Transportation
+// Networks", IPDPS 2010) together with the station-to-station accelerations
+// of that paper: stopping criterion, distance-table pruning over transfer
+// stations, and target pruning.
+//
+// The central object is a Network, built from a timetable (loaded from
+// GTFS, the library's own text format, or the synthetic generator). A
+// Network answers three kinds of questions:
+//
+//   - EarliestArrival: one departure time, one target (a "time-query").
+//   - Profile: all best connections of the whole period to one target.
+//   - ProfileAll: all best connections to every station in one run — the
+//     paper's one-to-all profile search, parallelizable over goroutines.
+//
+// Preprocess accelerates repeated station-to-station queries with a
+// distance table between automatically selected transfer stations.
+package transit
+
+import (
+	"fmt"
+	"io"
+
+	"transit/internal/core"
+	"transit/internal/dtable"
+	"transit/internal/gen"
+	"transit/internal/graph"
+	"transit/internal/gtfs"
+	"transit/internal/stationgraph"
+	"transit/internal/timetable"
+	"transit/internal/timeutil"
+)
+
+// Ticks is a point in time or duration in timetable ticks (minutes by
+// default). See FormatClock/ParseClock for rendering.
+type Ticks = timeutil.Ticks
+
+// Infinity is the "unreachable" sentinel for times and durations.
+const Infinity = timeutil.Infinity
+
+// StationID identifies a station of a Network.
+type StationID = timetable.StationID
+
+// Station describes a stop of the network.
+type Station = timetable.Station
+
+// Network is an immutable, query-ready public transportation network. All
+// methods are safe for concurrent use; per-query state lives on the stack
+// of each call.
+type Network struct {
+	tt *timetable.Timetable
+	g  *graph.Graph
+	sg *stationgraph.Graph
+
+	byName map[string]StationID
+
+	// Preprocessing artifacts (nil until Preprocess is called). A Network
+	// with preprocessing is still immutable: Preprocess returns a new
+	// wrapper sharing the base data.
+	table *dtable.Table
+}
+
+// NewNetwork builds the query structures (time-dependent graph of the
+// realistic model, station graph) for a validated timetable.
+func NewNetwork(tt *timetable.Timetable) *Network {
+	n := &Network{
+		tt:     tt,
+		g:      graph.Build(tt),
+		sg:     stationgraph.Build(tt),
+		byName: make(map[string]StationID, len(tt.Stations)),
+	}
+	for _, s := range tt.Stations {
+		if _, dup := n.byName[s.Name]; !dup {
+			n.byName[s.Name] = s.ID
+		}
+	}
+	return n
+}
+
+// LoadGTFS reads a GTFS feed directory into a Network.
+func LoadGTFS(dir string) (*Network, error) {
+	tt, err := gtfs.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	return NewNetwork(tt), nil
+}
+
+// ReadNetwork parses a timetable in either of the library's formats (text
+// or binary, auto-detected by the leading magic) into a Network.
+func ReadNetwork(r io.Reader) (*Network, error) {
+	tt, err := timetable.ReadAuto(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewNetwork(tt), nil
+}
+
+// WriteTimetable serializes the network's timetable in the library's text
+// format (human-readable, diffable).
+func (n *Network) WriteTimetable(w io.Writer) error { return timetable.Write(w, n.tt) }
+
+// WriteTimetableBinary serializes the network's timetable in the compact
+// binary format, which loads several times faster for large networks.
+func (n *Network) WriteTimetableBinary(w io.Writer) error { return timetable.WriteBinary(w, n.tt) }
+
+// Generate builds a synthetic network. Family is one of "oahu",
+// "losangeles", "washington", "germany", "europe" — structural analogues of
+// the paper's five evaluation inputs (see DESIGN.md). Scale 1.0 is the
+// default laptop-friendly size; seed 0 picks a per-family default.
+func Generate(family string, scale float64, seed int64) (*Network, error) {
+	cfg, err := gen.FamilyConfig(gen.Family(family), scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	tt, err := gen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewNetwork(tt), nil
+}
+
+// GenerateFamilies lists the synthetic family names in the paper's order.
+func GenerateFamilies() []string {
+	fams := gen.Families()
+	out := make([]string, len(fams))
+	for i, f := range fams {
+		out[i] = string(f)
+	}
+	return out
+}
+
+// Timetable exposes the underlying validated timetable.
+func (n *Network) Timetable() *timetable.Timetable { return n.tt }
+
+// NumStations returns the number of stations.
+func (n *Network) NumStations() int { return n.tt.NumStations() }
+
+// Station returns a station by ID.
+func (n *Network) Station(id StationID) Station { return n.tt.Stations[id] }
+
+// StationByName finds a station by exact name.
+func (n *Network) StationByName(name string) (StationID, bool) {
+	id, ok := n.byName[name]
+	return id, ok
+}
+
+// Period returns the timetable period π (1440 for minute-of-day networks).
+func (n *Network) Period() Ticks { return n.tt.Period.Len() }
+
+// FormatClock renders an absolute tick value as a clock time.
+func (n *Network) FormatClock(t Ticks) string { return n.tt.Period.FormatClock(t) }
+
+// ParseClock parses "HH:MM" (or "D:HH:MM") into ticks.
+func ParseClock(s string) (Ticks, error) { return timeutil.ParseClock(s) }
+
+// Stats summarizes the network.
+func (n *Network) Stats() string {
+	return fmt.Sprintf("%v; graph: %v", n.tt.Stats(), n.g.Stats())
+}
+
+// TransferSelection names a transfer-station selection strategy for
+// Preprocess.
+type TransferSelection struct {
+	// Fraction selects the top fraction (0 < f ≤ 1) of stations by
+	// contraction importance (the paper's contraction strategy).
+	Fraction float64
+	// MinDegree, when > 0, instead selects all stations with station-graph
+	// degree greater than this value (the paper's "deg > k" strategy).
+	MinDegree int
+}
+
+// Preprocess computes a distance table between transfer stations selected
+// by the given strategy, returning a new Network that shares all base data
+// and answers station-to-station queries with the Section 4 prunings.
+// Preprocessing cost is reported through PreprocessStats.
+func (n *Network) Preprocess(sel TransferSelection, opt Options) (*Network, *PreprocessStats, error) {
+	var marked []bool
+	switch {
+	case sel.MinDegree > 0:
+		marked = n.sg.SelectByDegree(sel.MinDegree)
+	case sel.Fraction > 0 && sel.Fraction <= 1:
+		keep := int(float64(n.tt.NumStations()) * sel.Fraction)
+		if keep < 1 {
+			keep = 1
+		}
+		marked = n.sg.SelectByContraction(keep)
+	default:
+		return nil, nil, fmt.Errorf("transit: invalid transfer selection %+v", sel)
+	}
+	pre, err := core.BuildDistanceTable(n.g, marked, opt.core(), 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	n2 := *n
+	n2.table = pre.Table
+	return &n2, &PreprocessStats{
+		TransferStations: pre.Table.NumTransfer(),
+		Elapsed:          pre.Elapsed,
+		TableBytes:       pre.SizeBytes,
+	}, nil
+}
+
+// Preprocessed reports whether this Network carries a distance table.
+func (n *Network) Preprocessed() bool { return n.table != nil }
+
+// SavePreprocessing serializes the network's distance table so that the
+// (expensive) preprocessing survives restarts. The network must have been
+// preprocessed.
+func (n *Network) SavePreprocessing(w io.Writer) error {
+	if n.table == nil {
+		return fmt.Errorf("transit: network has no preprocessing to save")
+	}
+	return dtable.Write(w, n.table, n.tt.NumStations())
+}
+
+// LoadPreprocessing attaches a previously saved distance table, returning a
+// new preprocessed Network sharing the base data. The table must have been
+// built for a network with the same station count; loading a table from a
+// different network yields wrong answers, so prefer saving/loading network
+// and table together.
+func (n *Network) LoadPreprocessing(r io.Reader) (*Network, error) {
+	t, err := dtable.Read(r, n.tt.NumStations())
+	if err != nil {
+		return nil, err
+	}
+	n2 := *n
+	n2.table = t
+	return &n2, nil
+}
