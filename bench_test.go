@@ -115,6 +115,7 @@ func BenchmarkTable2StationToStation(b *testing.B) {
 						env.StationGraph = net.SG
 						env.Table = pre.Table
 					}
+					b.ReportAllocs()
 					b.ResetTimer()
 					var settled int64
 					for i := 0; i < b.N; i++ {
@@ -241,6 +242,7 @@ func BenchmarkPublicAPIQuery(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("EarliestArrival", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := n.EarliestArrival(0, StationID(1+i%(n.NumStations()-1)), 480, Options{}); err != nil {
 				b.Fatal(err)
@@ -248,12 +250,59 @@ func BenchmarkPublicAPIQuery(b *testing.B) {
 		}
 	})
 	b.Run("Profile", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := n.Profile(0, StationID(1+i%(n.NumStations()-1)), Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
+}
+
+// BenchmarkSteadyStateStationQuery measures the zero-allocation query path:
+// station-to-station profile queries through one reused core.Workspace —
+// the paper's per-thread data-structure reuse, and the configuration a
+// server worker runs in. The allocs/op column is the headline: the
+// pre-workspace implementation allocated and Infinity-filled O(n·k) arrays
+// per query here.
+func BenchmarkSteadyStateStationQuery(b *testing.B) {
+	net := benchNet(b, "oahu")
+	sources := benchSources(net, 32)
+	env := core.QueryEnv{Graph: net.G}
+	for _, mode := range []string{"pooled-workspace", "detached"} {
+		b.Run(mode, func(b *testing.B) {
+			ws := core.GetWorkspace()
+			defer core.PutWorkspace(ws)
+			// Warm-up grows the workspace arrays to steady-state size.
+			if _, err := ws.StationToStation(env, sources[0], sources[1], core.QueryOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var settled int64
+			for i := 0; i < b.N; i++ {
+				src := sources[i%len(sources)]
+				dst := sources[(i+5)%len(sources)]
+				if src == dst {
+					dst = timetable.StationID((int(dst) + 1) % net.TT.NumStations())
+				}
+				var err error
+				var res *core.StationQueryResult
+				if mode == "pooled-workspace" {
+					res, err = ws.StationToStation(env, src, dst, core.QueryOptions{})
+				} else {
+					// Package-level wrapper: pools the search arrays but
+					// detaches (copies) the O(k) result vectors.
+					res, err = core.StationToStation(env, src, dst, core.QueryOptions{})
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				settled += res.Run.Total.SettledConns
+			}
+			b.ReportMetric(float64(settled)/float64(b.N), "settled/op")
+		})
+	}
 }
 
 // BenchmarkBaselineCSA measures the Connection Scan reference on the same
@@ -264,6 +313,7 @@ func BenchmarkBaselineCSA(b *testing.B) {
 	sched := core.NewConnectionScan(net.TT)
 	sources := benchSources(net, 16)
 	b.Run("csa", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := sched.Query(sources[i%len(sources)], 480, 2); err != nil {
 				b.Fatal(err)
@@ -271,6 +321,7 @@ func BenchmarkBaselineCSA(b *testing.B) {
 		}
 	})
 	b.Run("td-dijkstra", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.TimeQuery(net.G, sources[i%len(sources)], 480, core.Options{}); err != nil {
 				b.Fatal(err)

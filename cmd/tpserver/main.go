@@ -11,6 +11,13 @@
 //	GET /profile?from=ID&to=ID            all best connections of the day
 //	GET /journey?from=ID&to=ID&at=HH:MM   itinerary with legs
 //	GET /healthz                          liveness
+//
+// Query execution is allocation-free in the steady state: each request
+// goroutine checks a search workspace out of the library's pool
+// (internal/core), runs its query on generation-stamped reusable arrays,
+// and returns the workspace — the /arrival and /profile hot paths never
+// re-allocate or Infinity-fill their O(nodes × connections) label arrays,
+// no matter how many concurrent clients hammer the server.
 package main
 
 import (

@@ -1,0 +1,3 @@
+module transit
+
+go 1.24

@@ -29,17 +29,24 @@ type ConnectionScanResult struct {
 	Depart timeutil.Ticks
 	Run    stats.Run
 
-	arr []timeutil.Ticks
+	arr    []timeutil.Ticks
+	arrGen []uint32
+	gen    uint32
 }
 
 // StationArrival returns the earliest arrival at a station within the
 // scanned horizon (Infinity when unreachable in it).
 func (r *ConnectionScanResult) StationArrival(s timetable.StationID) timeutil.Ticks {
+	if r.arrGen[s] != r.gen {
+		return timeutil.Infinity
+	}
 	return r.arr[s]
 }
 
 // CSASchedule caches the lifted, departure-sorted connection order for
-// repeated scans. Safe for concurrent Query calls.
+// repeated scans. Safe for concurrent Query calls (each call runs on its
+// own workspace); for steady-state traffic pass a reused workspace to
+// QueryWS instead.
 type CSASchedule struct {
 	tt *timetable.Timetable
 	// tripTime[c] is the connection's absolute departure within its trip's
@@ -84,8 +91,16 @@ func NewConnectionScan(tt *timetable.Timetable) *CSASchedule {
 
 // Query runs one earliest-arrival scan covering trips that start within
 // `days` periods around the departure time (2 is enough for any journey
-// that crosses midnight once).
+// that crosses midnight once). The result owns a private workspace and
+// stays valid indefinitely.
 func (c *CSASchedule) Query(source timetable.StationID, dep timeutil.Ticks, days int) (*ConnectionScanResult, error) {
+	return c.QueryWS(NewWorkspace(), source, dep, days)
+}
+
+// QueryWS is the workspace-reusing form of Query: the steady state
+// allocates nothing. The result borrows workspace memory and is valid
+// until the next query on the workspace.
+func (c *CSASchedule) QueryWS(ws *Workspace, source timetable.StationID, dep timeutil.Ticks, days int) (*ConnectionScanResult, error) {
 	tt := c.tt
 	if int(source) < 0 || int(source) >= tt.NumStations() {
 		return nil, fmt.Errorf("core: source station %d out of range", source)
@@ -97,25 +112,41 @@ func (c *CSASchedule) Query(source timetable.StationID, dep timeutil.Ticks, days
 		days = 1
 	}
 	start := time.Now()
-	res := &ConnectionScanResult{Source: source, Depart: dep}
-	res.arr = make([]timeutil.Ticks, tt.NumStations())
-	for i := range res.arr {
-		res.arr[i] = timeutil.Infinity
+	gen := ws.begin()
+	ns := tt.NumStations()
+	ws.nodeArr = growTicks(ws.nodeArr, ns)
+	ws.nodeArrGen = growU32(ws.nodeArrGen, ns)
+	res := &ws.cres
+	*res = ConnectionScanResult{
+		Source: source, Depart: dep,
+		arr: ws.nodeArr, arrGen: ws.nodeArrGen, gen: gen,
 	}
-	res.arr[source] = dep
+	// arrAt/setArr gate the station labels through the generation stamps,
+	// so no O(numStations) Infinity fill runs per query.
+	arrAt := func(s timetable.StationID) timeutil.Ticks {
+		if res.arrGen[s] != gen {
+			return timeutil.Infinity
+		}
+		return res.arr[s]
+	}
+	setArr := func(s timetable.StationID, v timeutil.Ticks) {
+		res.arr[s] = v
+		res.arrGen[s] = gen
+	}
+	setArr(source, dep)
 	var cnt stats.Counters
 
 	// relaxWalks propagates an improved arrival over footpaths,
 	// transitively (strict improvement guards against zero-length cycles).
-	var walkQueue []timetable.StationID
+	walkQueue := ws.walkQueue[:0]
 	relaxWalks := func(from timetable.StationID) {
 		walkQueue = append(walkQueue[:0], from)
 		for len(walkQueue) > 0 {
 			s := walkQueue[len(walkQueue)-1]
 			walkQueue = walkQueue[:len(walkQueue)-1]
 			for _, f := range tt.FootpathsFrom(s) {
-				if na := res.arr[s] + f.Walk; na < res.arr[f.To] {
-					res.arr[f.To] = na
+				if na := arrAt(s) + f.Walk; na < arrAt(f.To) {
+					setArr(f.To, na)
 					walkQueue = append(walkQueue, f.To)
 				}
 			}
@@ -130,11 +161,15 @@ func (c *CSASchedule) Query(source timetable.StationID, dep timeutil.Ticks, days
 	// period index; events before dep are skipped during the scan.
 	firstDay := dep/pi - 1
 	nDays := days + 1
-	// aboard is per trip instance: train z starting on horizon day d.
-	aboard := make([]bool, tt.NumTrains()*nDays)
+	// aboard is per trip instance: train z starting on horizon day d; a
+	// trip is aboard iff its stamp matches this query's generation.
+	ws.aboardGen = growU32(ws.aboardGen, tt.NumTrains()*nDays)
+	aboardGen := ws.aboardGen
 
 	// Merged scan over the nDays shifted copies of the sorted event list.
-	idx := make([]int, nDays)
+	ws.dayIdx = growInt(ws.dayIdx, nDays)
+	idx := ws.dayIdx
+	clear(idx)
 	for {
 		// Pick the day whose next event departs earliest.
 		best, bestT := -1, timeutil.Infinity
@@ -160,9 +195,9 @@ func (c *CSASchedule) Query(source timetable.StationID, dep timeutil.Ticks, days
 		cnt.SettledConns++
 		arrAbs := depAbs + conn.Duration()
 		slot := int(conn.Train)*nDays + best
-		reachable := aboard[slot]
+		reachable := aboardGen[slot] == gen
 		if !reachable {
-			at := res.arr[conn.From]
+			at := arrAt(conn.From)
 			if !at.IsInf() {
 				need := at + tt.Stations[conn.From].Transfer
 				if conn.From == source && at == dep {
@@ -172,14 +207,16 @@ func (c *CSASchedule) Query(source timetable.StationID, dep timeutil.Ticks, days
 			}
 		}
 		if reachable {
-			aboard[slot] = true
-			if arrAbs < res.arr[conn.To] {
-				res.arr[conn.To] = arrAbs
+			aboardGen[slot] = gen
+			if arrAbs < arrAt(conn.To) {
+				setArr(conn.To, arrAbs)
 				relaxWalks(conn.To)
 			}
 		}
 	}
-	res.Run.PerThread = []stats.Counters{cnt}
+	ws.walkQueue = walkQueue
+	ws.pt1[0] = cnt
+	res.Run.PerThread = ws.pt1[:1]
 	res.Run.Total = cnt
 	res.Run.Elapsed = time.Since(start)
 	return res, nil

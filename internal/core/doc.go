@@ -1,0 +1,48 @@
+// Package core implements the paper's algorithms: the time-query
+// (time-dependent Dijkstra), the label-correcting profile-search baseline,
+// the self-pruning connection-setting (SPCS) one-to-all profile search of
+// Section 3, its parallelization, and the station-to-station query of
+// Section 4 with stopping criterion, distance-table pruning and target
+// pruning.
+//
+// # Workspaces and generation-stamped labels
+//
+// The paper reports per-query times in the low milliseconds because its
+// C++ implementation keeps every search data structure alive between
+// queries, once per thread. This package reproduces that discipline with
+// the Workspace type: a bundle owning the label arrays (arr, settled,
+// maxconn, parents), the pruning state (µ, γ, ancestor flags), the seed
+// scratch (conn(S) and walk distances) and the priority queues of
+// internal/pq, with one workerSpace per search thread.
+//
+// Resetting a workspace between queries is O(1), not O(numNodes·k): each
+// resettable slot carries a uint32 generation stamp, and a query begins by
+// incrementing the workspace generation. A label is "Infinity", a node
+// "unsettled", maxconn "-1" and a queue position "absent" unless its stamp
+// equals the current generation, so the previous query's data simply
+// becomes invisible instead of being swept. Stamps wrap around once every
+// 2^32 queries, at which point (and only then) one real sweep runs.
+//
+// # Lifecycle
+//
+// A Workspace serves one query at a time and is not safe for concurrent
+// use. There are two ways to run a query:
+//
+//   - Workspace methods (Workspace.OneToAll, Workspace.StationToStation,
+//     Workspace.TimeQuery, CSASchedule.QueryWS): zero steady-state
+//     allocations; the result borrows workspace memory and is valid only
+//     until the next query on the same workspace. Check workspaces out of
+//     the package pool with GetWorkspace/PutWorkspace — this is what a
+//     server does per request goroutine — or keep one per worker.
+//
+//   - Package-level functions (OneToAll, StationToStation, TimeQuery,
+//     LabelCorrecting, CSASchedule.Query): self-contained results. Big
+//     results (profile searches) bind a private workspace that lives and
+//     dies with the result; small results (station-to-station) run on a
+//     pooled workspace and are detached by a copy of their O(k) vectors.
+//
+// The stopping criterion's cross-thread state (stopState) packs a
+// connection index and an arrival into one atomic word; the arrival half
+// relies on timeutil.Ticks being 32-bit, which is asserted at compile time
+// in query.go.
+package core

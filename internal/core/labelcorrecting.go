@@ -32,19 +32,20 @@ func LabelCorrecting(g *graph.Graph, source timetable.StationID, opts Options) (
 		return nil, fmt.Errorf("core: LabelCorrecting does not support parent tracking")
 	}
 	start := time.Now()
-	res := newProfileResult(g, source, opts)
+	ws := NewWorkspace() // private: the result keeps the label memory alive
+	res := ws.newProfileResult(g, source, opts)
 	k := res.K()
 	numNodes := g.NumNodes()
 	var c stats.Counters
 
-	heap := opts.newHeap(numNodes)
+	heap := ws.worker(0).heap(opts, numNodes)
 
 	// Seed the departure route nodes: arr(r, i) = τ_dep(c_i).
 	for i, id := range res.Conns {
 		r := g.ConnDepartureNode(id)
 		li := res.label(r, i)
-		if res.Deps[i] < res.arr[li] {
-			res.arr[li] = res.Deps[i]
+		if res.Deps[i] < res.arrAt(li) {
+			res.setArr(li, res.Deps[i])
 		}
 	}
 	seeded := make(map[graph.NodeID]bool)
@@ -52,7 +53,14 @@ func LabelCorrecting(g *graph.Graph, source timetable.StationID, opts Options) (
 		r := g.ConnDepartureNode(id)
 		if !seeded[r] {
 			seeded[r] = true
-			if heap.Push(int32(r), minFinite(res.arr[res.label(r, 0):res.label(r, 0)+k])) {
+			base := res.label(r, 0)
+			m := timeutil.Infinity
+			for i := 0; i < k; i++ {
+				if a := res.arrAt(base + i); a < m {
+					m = a
+				}
+			}
+			if heap.Push(int32(r), m) {
 				c.QueuePushes++
 			}
 		}
@@ -62,10 +70,11 @@ func LabelCorrecting(g *graph.Graph, source timetable.StationID, opts Options) (
 		it, _ := heap.PopMin()
 		c.QueuePops++
 		v := graph.NodeID(it)
-		row := res.arr[res.label(v, 0) : res.label(v, 0)+k]
+		base := res.label(v, 0)
 		// The popped label carries all its finite points; each is relaxed.
 		edges := g.OutEdges(v)
-		for i, av := range row {
+		for i := 0; i < k; i++ {
+			av := res.arrAt(base + i)
 			if av.IsInf() {
 				continue
 			}
@@ -78,8 +87,8 @@ func LabelCorrecting(g *graph.Graph, source timetable.StationID, opts Options) (
 				}
 				head := edges[e].Head
 				hl := res.label(head, i)
-				if arrTent < res.arr[hl] {
-					res.arr[hl] = arrTent
+				if arrTent < res.arrAt(hl) {
+					res.setArr(hl, arrTent)
 					if heap.Push(int32(head), arrTent) {
 						c.QueuePushes++
 					}
@@ -91,14 +100,4 @@ func LabelCorrecting(g *graph.Graph, source timetable.StationID, opts Options) (
 	res.Run.Total = c
 	res.Run.Elapsed = time.Since(start)
 	return res, nil
-}
-
-func minFinite(row []timeutil.Ticks) timeutil.Ticks {
-	m := timeutil.Infinity
-	for _, v := range row {
-		if v < m {
-			m = v
-		}
-	}
-	return m
 }

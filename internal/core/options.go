@@ -1,9 +1,3 @@
-// Package core implements the paper's algorithms: the time-query
-// (time-dependent Dijkstra), the label-correcting profile-search baseline,
-// the self-pruning connection-setting (SPCS) one-to-all profile search of
-// Section 3, its parallelization, and the station-to-station query of
-// Section 4 with stopping criterion, distance-table pruning and target
-// pruning.
 package core
 
 import (

@@ -50,8 +50,11 @@ func OneToAllPareto(g *graph.Graph, source timetable.StationID, maxTransfers int
 	start := time.Now()
 
 	tt := g.TT
-	walk := walkDistances(tt, source)
-	connIDs, deps := extendedConns(tt, source, walk)
+	// A private workspace builds the seed list; the result keeps its memory
+	// (walk map and seed slices) alive, so no pooling here.
+	ws := NewWorkspace()
+	walk := ws.walkDistances(tt, source)
+	connIDs, deps := ws.extendedConns(tt, source, walk)
 	res := &ParetoResult{
 		Source:       source,
 		MaxTransfers: maxTransfers,

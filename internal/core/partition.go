@@ -9,24 +9,39 @@ import (
 // indexes b with chunk t = [b[t], b[t+1]). Chunks may be empty (e.g. a
 // time slot containing no departures).
 func partition(deps []timeutil.Ticks, period timeutil.Period, p int, strategy PartitionStrategy) []int {
+	return partitionInto(nil, deps, period, p, strategy)
+}
+
+// partitionInto is partition with a reusable boundary buffer, so the hot
+// query paths avoid the per-query boundary allocation.
+func partitionInto(buf []int, deps []timeutil.Ticks, period timeutil.Period, p int, strategy PartitionStrategy) []int {
 	k := len(deps)
 	if p < 1 {
 		p = 1
 	}
 	switch strategy {
 	case EqualTimeSlots:
-		return partitionTimeSlots(deps, period, p)
+		return partitionTimeSlots(buf, deps, period, p)
 	case KMeans:
-		return partitionKMeans(deps, p)
+		return partitionKMeans(buf, deps, p)
 	default:
-		return partitionEqualConns(k, p)
+		return partitionEqualConns(buf, k, p)
 	}
+}
+
+// boundsBuf returns a boundary slice of length p+1 backed by buf when it is
+// large enough.
+func boundsBuf(buf []int, p int) []int {
+	if cap(buf) < p+1 {
+		return make([]int, p+1)
+	}
+	return buf[:p+1]
 }
 
 // partitionEqualConns makes p chunks whose sizes differ by at most one —
 // the paper's "equal number of connections" method.
-func partitionEqualConns(k, p int) []int {
-	b := make([]int, p+1)
+func partitionEqualConns(buf []int, k, p int) []int {
+	b := boundsBuf(buf, p)
 	for t := 0; t <= p; t++ {
 		b[t] = t * k / p
 	}
@@ -36,9 +51,9 @@ func partitionEqualConns(k, p int) []int {
 // partitionTimeSlots cuts Π into p equal intervals and assigns each
 // connection to the slot containing its departure — the paper's "equal
 // time-slots" method, unbalanced under rush hours.
-func partitionTimeSlots(deps []timeutil.Ticks, period timeutil.Period, p int) []int {
+func partitionTimeSlots(buf []int, deps []timeutil.Ticks, period timeutil.Period, p int) []int {
 	k := len(deps)
-	b := make([]int, p+1)
+	b := boundsBuf(buf, p)
 	pi := int(period.Len())
 	idx := 0
 	for t := 0; t < p; t++ {
@@ -56,15 +71,15 @@ func partitionTimeSlots(deps []timeutil.Ticks, period timeutil.Period, p int) []
 // Clusters of sorted scalars are contiguous ranges, so the result is again
 // a boundary vector. Initialization is equal-size chunks; a few iterations
 // suffice at these sizes.
-func partitionKMeans(deps []timeutil.Ticks, p int) []int {
+func partitionKMeans(buf []int, deps []timeutil.Ticks, p int) []int {
 	k := len(deps)
 	if k == 0 || p == 1 {
-		return partitionEqualConns(k, p)
+		return partitionEqualConns(buf, k, p)
 	}
 	if p > k {
 		p = k
 	}
-	b := partitionEqualConns(k, p)
+	b := partitionEqualConns(buf, k, p)
 	for iter := 0; iter < 32; iter++ {
 		// Centroids of current chunks.
 		cent := make([]float64, p)

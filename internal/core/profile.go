@@ -16,6 +16,13 @@ import (
 // reach v). Station profiles dist(S, T, ·) are derived on demand by
 // connection reduction.
 //
+// The label store is generation-stamped workspace memory: a slot holds a
+// meaningful arrival only when its stamp matches the generation the search
+// ran under, and every other slot reads as Infinity. Results produced by a
+// Workspace query method are therefore valid only until the next query on
+// that workspace; package-level OneToAll binds a private workspace to the
+// result, which stays valid for as long as the caller keeps it.
+//
 // Without footpaths the seed list is exactly the paper's conn(S). With
 // footpaths it is the extended list (see extendedConns): connections of
 // walk-reachable stations with *effective* departures from the source, so
@@ -35,56 +42,69 @@ type ProfileResult struct {
 	Run stats.Run
 
 	g    *graph.Graph
-	arr  []timeutil.Ticks // numNodes × k, row-major by node
 	walk map[timetable.StationID]timeutil.Ticks
 
-	// Parent links, present only when Options.TrackParents was set.
+	// Generation-stamped labels: arr[li] is meaningful iff arrGen[li] == gen.
+	arr    []timeutil.Ticks // numNodes × k, row-major by node
+	arrGen []uint32
+	gen    uint32
+
+	// Parent links, present only when Options.TrackParents was set; stamped
+	// like the labels.
+	hasParents bool
 	parentNode []graph.NodeID
 	parentConn []timetable.ConnID
+	parentGen  []uint32
 }
 
-func newProfileResult(g *graph.Graph, source timetable.StationID, opts Options) *ProfileResult {
-	return newProfileResultWindow(g, source, opts, 0, timeutil.Infinity)
+// newProfileResult dimensions the workspace for a full-period profile
+// search and returns its (workspace-owned) result shell.
+func (ws *Workspace) newProfileResult(g *graph.Graph, source timetable.StationID, opts Options) *ProfileResult {
+	return ws.newProfileResultWindow(g, source, opts, 0, timeutil.Infinity)
 }
 
 // newProfileResultWindow restricts the seed list to effective departures in
 // [from, to] — the interval profile search of Dean [5] referenced in the
 // paper's related work ("all quickest connections in a given time
 // interval"). The full-period search passes [0, ∞).
-func newProfileResultWindow(g *graph.Graph, source timetable.StationID, opts Options, from, to timeutil.Ticks) *ProfileResult {
+func (ws *Workspace) newProfileResultWindow(g *graph.Graph, source timetable.StationID, opts Options, from, to timeutil.Ticks) *ProfileResult {
+	gen := ws.begin()
 	tt := g.TT
-	walk := walkDistances(tt, source)
-	connIDs, deps := extendedConns(tt, source, walk)
+	walk := ws.walkDistances(tt, source)
+	connIDs, deps := ws.extendedConns(tt, source, walk)
 	if from > 0 || !to.IsInf() {
-		fc := connIDs[:0]
-		fd := deps[:0]
+		// Filter into workspace memory. connIDs may alias the timetable's
+		// own outgoing-connection slice, which must never be compacted in
+		// place.
+		ws.conns = append(ws.conns[:0], connIDs...)
+		fc := ws.conns[:0]
+		fd := deps[:0] // deps is always workspace memory
 		for i, d := range deps {
 			if d >= from && d <= to {
-				fc = append(fc, connIDs[i])
+				fc = append(fc, ws.conns[i])
 				fd = append(fd, d)
 			}
 		}
 		connIDs, deps = fc, fd
 	}
 	k := len(connIDs)
-	r := &ProfileResult{
+	ws.ensureLabels(g.NumNodes()*k, opts.TrackParents)
+	r := &ws.pres
+	*r = ProfileResult{
 		Source: source,
 		Conns:  connIDs,
 		Deps:   deps,
 		g:      g,
 		walk:   walk,
-		arr:    make([]timeutil.Ticks, g.NumNodes()*k),
-	}
-	for i := range r.arr {
-		r.arr[i] = timeutil.Infinity
+		arr:    ws.arr,
+		arrGen: ws.arrGen,
+		gen:    gen,
 	}
 	if opts.TrackParents {
-		r.parentNode = make([]graph.NodeID, len(r.arr))
-		r.parentConn = make([]timetable.ConnID, len(r.arr))
-		for i := range r.parentNode {
-			r.parentNode[i] = graph.NoNode
-			r.parentConn[i] = -1
-		}
+		r.hasParents = true
+		r.parentNode = ws.parentNode
+		r.parentConn = ws.parentConn
+		r.parentGen = ws.parentGen
 	}
 	return r
 }
@@ -95,21 +115,61 @@ func (r *ProfileResult) K() int { return len(r.Conns) }
 // label returns the flat index of (v, i).
 func (r *ProfileResult) label(v graph.NodeID, i int) int { return int(v)*len(r.Conns) + i }
 
+// arrAt reads a label through its generation stamp: unset slots are
+// Infinity without ever having been written.
+func (r *ProfileResult) arrAt(li int) timeutil.Ticks {
+	if r.arrGen[li] != r.gen {
+		return timeutil.Infinity
+	}
+	return r.arr[li]
+}
+
+// setArr writes a label and stamps it live for this generation.
+func (r *ProfileResult) setArr(li int, v timeutil.Ticks) {
+	r.arr[li] = v
+	r.arrGen[li] = r.gen
+}
+
+// setParent records a parent link for journey extraction.
+func (r *ProfileResult) setParent(li int, node graph.NodeID, conn timetable.ConnID) {
+	r.parentNode[li] = node
+	r.parentConn[li] = conn
+	r.parentGen[li] = r.gen
+}
+
+// parentAt reads a parent link; unset slots read as (NoNode, -1).
+func (r *ProfileResult) parentAt(li int) (graph.NodeID, timetable.ConnID) {
+	if r.parentGen[li] != r.gen {
+		return graph.NoNode, -1
+	}
+	return r.parentNode[li], r.parentConn[li]
+}
+
 // Arrival returns arr(v, i) for a node.
 func (r *ProfileResult) Arrival(v graph.NodeID, i int) timeutil.Ticks {
-	return r.arr[r.label(v, i)]
+	return r.arrAt(r.label(v, i))
 }
 
 // StationArrival returns arr(T, i) at the station node of T.
 func (r *ProfileResult) StationArrival(t timetable.StationID, i int) timeutil.Ticks {
-	return r.arr[r.label(r.g.StationNode(t), i)]
+	return r.arrAt(r.label(r.g.StationNode(t), i))
 }
 
-// StationArrivals returns the full label vector arr(T, ·) of a station
-// (shared slice; do not modify).
+// StationArrivals returns the full label vector arr(T, ·) of a station as
+// a freshly allocated slice, materialized through the generation stamps.
+// Allocating here keeps concurrent readers of one result safe (the
+// pre-workspace implementation returned a read-only view, and e.g. a
+// shared AllProfiles may serve many goroutines); the zero-allocation hot
+// path is the station-to-station query, which never calls this.
 func (r *ProfileResult) StationArrivals(t timetable.StationID) []timeutil.Ticks {
 	v := r.g.StationNode(t)
-	return r.arr[r.label(v, 0) : r.label(v, 0)+len(r.Conns)]
+	k := len(r.Conns)
+	row := make([]timeutil.Ticks, k)
+	base := r.label(v, 0)
+	for i := 0; i < k; i++ {
+		row[i] = r.arrAt(base + i)
+	}
+	return row
 }
 
 // StationProfile reduces the label vector of T into the distance function
@@ -155,7 +215,7 @@ func (r *ProfileResult) IdealSpeedupOver(seq *ProfileResult) float64 {
 }
 
 // HasParents reports whether parent links were recorded.
-func (r *ProfileResult) HasParents() bool { return r.parentNode != nil }
+func (r *ProfileResult) HasParents() bool { return r.hasParents }
 
 // JourneyConnections reconstructs the elementary connections ridden by the
 // itinerary of connection index i to station t, in travel order. It returns
@@ -168,7 +228,7 @@ func (r *ProfileResult) JourneyConnections(t timetable.StationID, i int) ([]time
 		return nil, fmt.Errorf("core: connection index %d out of range [0,%d)", i, len(r.Conns))
 	}
 	v := r.g.StationNode(t)
-	if r.arr[r.label(v, i)].IsInf() {
+	if r.arrAt(r.label(v, i)).IsInf() {
 		return nil, fmt.Errorf("core: station %d unreachable via connection %d", t, i)
 	}
 	var rides []timetable.ConnID
@@ -176,12 +236,11 @@ func (r *ProfileResult) JourneyConnections(t timetable.StationID, i int) ([]time
 		if steps > r.g.NumNodes()+1 {
 			return nil, fmt.Errorf("core: parent chain cycle at node %d", v)
 		}
-		li := r.label(v, i)
-		p := r.parentNode[li]
+		p, c := r.parentAt(r.label(v, i))
 		if p == graph.NoNode {
 			break // reached the seed route node
 		}
-		if c := r.parentConn[li]; c >= 0 {
+		if c >= 0 {
 			rides = append(rides, c)
 		}
 		v = p

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"transit/internal/dtable"
 	"transit/internal/graph"
@@ -41,6 +42,10 @@ type QueryOptions struct {
 
 // StationQueryResult is the profile of an S–T station-to-station query:
 // arr(T, i) for every outgoing connection i of S.
+//
+// Results returned by Workspace.StationToStation borrow workspace memory
+// (Conns, Deps, ArrT, Run.PerThread) and are valid until the next query on
+// that workspace; StationToStation returns a detached copy.
 type StationQueryResult struct {
 	Source timetable.StationID
 	Target timetable.StationID
@@ -88,17 +93,49 @@ func (r *StationQueryResult) EarliestArrival(at timeutil.Ticks) timeutil.Ticks {
 	return best
 }
 
+// detach deep-copies the result out of workspace memory so it survives the
+// workspace's return to the pool.
+func (r *StationQueryResult) detach() *StationQueryResult {
+	out := *r
+	out.Conns = append([]timetable.ConnID(nil), r.Conns...)
+	out.Deps = append([]timeutil.Ticks(nil), r.Deps...)
+	out.ArrT = append([]timeutil.Ticks(nil), r.ArrT...)
+	out.Run.PerThread = append([]stats.Counters(nil), r.Run.PerThread...)
+	return &out
+}
+
 // stopState is the shared stopping-criterion state (Theorem 2), packed for
 // a single atomic word: upper 32 bits hold Tm+1 (0 = none yet), lower 32
 // the arrival time arr(T, Tm) at which it was settled. Cross-thread use
 // additionally compares keys against that arrival, which is what makes the
 // sequential argument ("q was settled after q′") carry over to independent
 // per-thread queues.
+//
+// Packing invariant: an arrival fits the lower half exactly because
+// timeutil.Ticks is a 32-bit type (compile-time asserted below) and settled
+// target arrivals are finite, hence in [0, Infinity] ⊂ [0, 2^31). Should
+// Ticks ever widen, the compile-time assertion fails rather than letting
+// arrivals silently truncate and corrupt Theorem 2 pruning near the 32-bit
+// boundary; observeTargetSettle additionally saturates defensively.
+var _ [1]struct{} = [4 - unsafe.Sizeof(timeutil.Ticks(0)) + 1]struct{}{}
+
 type stopState struct {
 	v atomic.Uint64
 }
 
+// reset clears the state for a new query.
+func (s *stopState) reset() { s.v.Store(0) }
+
 func (s *stopState) observeTargetSettle(i int, arr timeutil.Ticks) {
+	// Saturate out-of-range arrivals (nothing meaningful ever exceeds
+	// Infinity; negative arrivals cannot occur) so the packed word always
+	// round-trips exactly.
+	if arr > timeutil.Infinity {
+		arr = timeutil.Infinity
+	}
+	if arr < 0 {
+		arr = 0
+	}
 	for {
 		cur := s.v.Load()
 		curIdx := int64(cur>>32) - 1
@@ -128,7 +165,26 @@ func (s *stopState) shouldPrune(i int, key timeutil.Ticks) bool {
 // Section 4: the stopping criterion, and — when env carries a station graph
 // and distance table — pruning via the distance table for global queries
 // plus target pruning when T is a transfer station.
+//
+// It runs on a pooled workspace and returns a detached (caller-owned)
+// result. Steady-state callers that can consume the result immediately
+// should use Workspace.StationToStation to also skip the copy.
 func StationToStation(env QueryEnv, source, target timetable.StationID, opts QueryOptions) (*StationQueryResult, error) {
+	ws := GetWorkspace()
+	res, err := ws.StationToStation(env, source, target, opts)
+	if err != nil {
+		PutWorkspace(ws)
+		return nil, err
+	}
+	out := res.detach()
+	PutWorkspace(ws)
+	return out, nil
+}
+
+// StationToStation is the workspace-reusing form of the package-level
+// StationToStation: the steady state allocates nothing. The result borrows
+// workspace memory and is valid until the next query on this workspace.
+func (ws *Workspace) StationToStation(env QueryEnv, source, target timetable.StationID, opts QueryOptions) (*StationQueryResult, error) {
 	g := env.Graph
 	if g == nil {
 		return nil, fmt.Errorf("core: QueryEnv.Graph is nil")
@@ -144,19 +200,20 @@ func StationToStation(env QueryEnv, source, target timetable.StationID, opts Que
 		return nil, fmt.Errorf("core: StationGraph and Table must be provided together")
 	}
 	start := time.Now()
+	gen := ws.begin()
 
-	walk := walkDistances(g.TT, source)
-	connIDs, deps := extendedConns(g.TT, source, walk)
-	res := &StationQueryResult{
+	walk := ws.walkDistances(g.TT, source)
+	connIDs, deps := ws.extendedConns(g.TT, source, walk)
+	res := &ws.sres
+	*res = StationQueryResult{
 		Source:   source,
 		Target:   target,
 		Conns:    connIDs,
 		Deps:     deps,
 		WalkOnly: distOrInf(walk, target),
 		period:   g.TT.Period,
+		ArrT:     growTicks(ws.sres.ArrT, len(connIDs)),
 	}
-	k := len(res.Conns)
-	res.ArrT = make([]timeutil.Ticks, k)
 	for i := range res.ArrT {
 		res.ArrT[i] = timeutil.Infinity
 	}
@@ -172,25 +229,28 @@ func StationToStation(env QueryEnv, source, target timetable.StationID, opts Que
 			}
 			res.TableHit = true
 			res.Run.Elapsed = time.Since(start)
-			res.Run.PerThread = []stats.Counters{{}}
+			res.Run.PerThread = ws.counters(1)
 			return res, nil
 		}
 		// Determine via(T) on the fly; the DFS also classifies the query.
-		isTransfer := make([]bool, ns)
-		for _, s := range env.Table.Stations() {
-			isTransfer[s] = true
-		}
-		vias = env.StationGraph.ComputeVias(target, isTransfer)
+		// The transfer marks are cached on the workspace keyed by table
+		// identity, so steady-state traffic against one table rebuilds
+		// nothing.
+		vias = env.StationGraph.ComputeVias(target, ws.transferMarks(env.Table, ns))
 		res.Local = vias.IsLocalSource(source)
 	}
 
-	q := &s2sQuery{
-		g:          g,
-		res:        res,
-		opts:       opts,
-		target:     target,
-		targetNode: g.StationNode(target),
-	}
+	// Field-wise reset (the struct embeds an atomic and must not be copied).
+	q := &ws.s2q
+	q.g = g
+	q.res = res
+	q.opts = opts
+	q.target = target
+	q.targetNode = g.StationNode(target)
+	q.table = nil
+	q.vias = nil
+	q.targetIsTransfer = false
+	q.stop.reset()
 	if useTable && !res.Local && len(vias.Via) > 0 {
 		q.table = env.Table
 		q.vias = vias.Via
@@ -198,29 +258,33 @@ func StationToStation(env QueryEnv, source, target timetable.StationID, opts Que
 	}
 
 	p := opts.threads()
-	bounds := partition(res.Deps, g.TT.Period, p, opts.Partition)
+	ws.bounds = partitionInto(ws.bounds, res.Deps, g.TT.Period, p, opts.Partition)
+	bounds := ws.bounds
 	nw := len(bounds) - 1
-	workers := make([]*s2sWorker, nw)
+	if cap(ws.s2sBuf) < nw {
+		ws.s2sBuf = make([]s2sWorker, nw)
+	}
+	workers := ws.s2sBuf[:nw]
 	for t := 0; t < nw; t++ {
-		workers[t] = newS2SWorker(q, bounds[t], bounds[t+1])
+		workers[t].init(q, bounds[t], bounds[t+1], ws.worker(t), gen)
 	}
 	if nw == 1 {
 		workers[0].run()
 	} else {
 		var wg sync.WaitGroup
-		for _, w := range workers {
+		for t := range workers {
 			wg.Add(1)
 			go func(w *s2sWorker) {
 				defer wg.Done()
 				w.run()
-			}(w)
+			}(&workers[t])
 		}
 		wg.Wait()
 	}
-	res.Run.PerThread = make([]stats.Counters, nw)
-	for t, w := range workers {
-		res.Run.PerThread[t] = w.counters
-		res.Run.Total.Add(w.counters)
+	res.Run.PerThread = ws.counters(nw)
+	for t := range workers {
+		res.Run.PerThread[t] = workers[t].counters
+		res.Run.Total.Add(workers[t].counters)
 	}
 	res.Run.Elapsed = time.Since(start)
 	return res, nil
@@ -246,15 +310,19 @@ type s2sQuery struct {
 // s2sWorker runs the pruned connection-setting search on the connection
 // range [lo, hi). All per-connection pruning state (µ bounds, γ bounds,
 // done flags, ancestor counters) is local to the worker, since connections
-// are partitioned across workers.
+// are partitioned across workers. The worker's label memory lives in its
+// workerSpace: settled and maxconn are generation-stamped (O(1) reset),
+// while the O(k)-sized pruning arrays are refilled eagerly.
 type s2sWorker struct {
 	q        *s2sQuery
 	lo, hi   int
+	ws       *workerSpace
+	gen      uint32
 	counters stats.Counters
 
-	arr     []timeutil.Ticks // labels, nodes × kLocal
-	settled []bool
-	maxconn []int32
+	settledGen []uint32
+	maxconn    []int32
+	maxconnGen []uint32
 
 	// µ[iLocal*len(vias)+j]: upper bound µ_{i,j} on the useful arrival at
 	// via station j (Theorem 3).
@@ -266,35 +334,41 @@ type s2sWorker struct {
 	noAncCount []int            // queued entries of i without transfer ancestor
 }
 
-func newS2SWorker(q *s2sQuery, lo, hi int) *s2sWorker {
-	w := &s2sWorker{q: q, lo: lo, hi: hi}
+// init prepares a worker for one query, reusing the workerSpace arrays.
+func (w *s2sWorker) init(q *s2sQuery, lo, hi int, wsw *workerSpace, gen uint32) {
+	*w = s2sWorker{q: q, lo: lo, hi: hi, ws: wsw, gen: gen}
 	kLocal := hi - lo
 	n := q.g.NumNodes()
-	w.arr = make([]timeutil.Ticks, n*kLocal)
-	for i := range w.arr {
-		w.arr[i] = timeutil.Infinity
-	}
-	w.settled = make([]bool, n*kLocal)
-	w.maxconn = make([]int32, n)
-	for i := range w.maxconn {
-		w.maxconn[i] = -1
-	}
+	wsw.settledGen = growU32(wsw.settledGen, n*kLocal)
+	w.settledGen = wsw.settledGen
+	wsw.maxconn = growI32(wsw.maxconn, n)
+	w.maxconn = wsw.maxconn
+	wsw.maxconnGen = growU32(wsw.maxconnGen, n)
+	w.maxconnGen = wsw.maxconnGen
 	if q.table != nil {
-		w.mu = make([]timeutil.Ticks, kLocal*len(q.vias))
+		wsw.mu = growTicks(wsw.mu, kLocal*len(q.vias))
+		w.mu = wsw.mu
 		for i := range w.mu {
 			w.mu[i] = timeutil.Infinity
 		}
 		if q.targetIsTransfer {
-			w.gamma = make([]timeutil.Ticks, kLocal)
+			wsw.gamma = growTicks(wsw.gamma, kLocal)
+			w.gamma = wsw.gamma
 			for i := range w.gamma {
 				w.gamma[i] = timeutil.Infinity
 			}
-			w.connDone = make([]bool, kLocal)
-			w.anc = make([]bool, n*kLocal)
-			w.noAncCount = make([]int, kLocal)
+			wsw.connDone = growBool(wsw.connDone, kLocal)
+			w.connDone = wsw.connDone
+			clear(w.connDone)
+			// anc needs no clearing: every slot is written by push before
+			// any read of the same query (see push).
+			wsw.anc = growBool(wsw.anc, n*kLocal)
+			w.anc = wsw.anc
+			wsw.noAncCount = growInt(wsw.noAncCount, kLocal)
+			w.noAncCount = wsw.noAncCount
+			clear(w.noAncCount)
 		}
 	}
-	return w
 }
 
 func (w *s2sWorker) run() {
@@ -305,12 +379,13 @@ func (w *s2sWorker) run() {
 	if kLocal == 0 {
 		return
 	}
-	heap := q.opts.newHeap(g.NumNodes() * kLocal)
+	gen := w.gen
+	heap := w.ws.heap(q.opts.Options, g.NumNodes()*kLocal)
 	transferTime := func(s timetable.StationID) timeutil.Ticks { return g.TT.Stations[s].Transfer }
 
 	push := func(v graph.NodeID, iLocal int, key timeutil.Ticks, childAnc bool) {
 		it := int32(int(v)*kLocal + iLocal)
-		if w.settled[it] {
+		if w.settledGen[it] == gen {
 			return
 		}
 		wasIn := heap.Contains(it)
@@ -347,7 +422,7 @@ func (w *s2sWorker) run() {
 		v := graph.NodeID(int(it) / kLocal)
 		iLocal := int(it) % kLocal
 		i := w.lo + iLocal
-		w.settled[it] = true
+		w.settledGen[it] = gen
 		hasAnc := false
 		if w.anc != nil {
 			hasAnc = w.anc[it]
@@ -367,14 +442,18 @@ func (w *s2sWorker) run() {
 			continue
 		}
 		// Self-pruning (Theorem 1).
-		if !q.opts.DisableSelfPruning && int32(i) <= w.maxconn[v] {
+		mc := int32(-1)
+		if w.maxconnGen[v] == gen {
+			mc = w.maxconn[v]
+		}
+		if !q.opts.DisableSelfPruning && int32(i) <= mc {
 			w.counters.PrunedConns++
 			continue
 		}
-		if int32(i) > w.maxconn[v] {
+		if int32(i) > mc {
 			w.maxconn[v] = int32(i)
+			w.maxconnGen[v] = gen
 		}
-		w.arr[it] = key
 		w.counters.SettledConns++
 
 		st := g.Station(v)

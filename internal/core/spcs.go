@@ -13,15 +13,18 @@ import (
 
 // spcsWorker runs the self-pruning connection-setting search for the
 // contiguous global connection range [lo, hi) of conn(S) (Section 3.1). It
-// owns its priority queue and maxconn labels; the arrival (and parent)
-// arrays of the shared ProfileResult are written only at global indexes in
-// [lo, hi), so concurrent workers never touch the same label.
+// borrows its priority queue and settled/maxconn labels from a per-thread
+// workerSpace; the arrival (and parent) arrays of the shared ProfileResult
+// are written only at global indexes in [lo, hi), so concurrent workers
+// never touch the same label.
 type spcsWorker struct {
 	g    *graph.Graph
 	res  *ProfileResult
 	opts Options
 	lo   int
 	hi   int
+	ws   *workerSpace
+	gen  uint32
 
 	counters stats.Counters
 }
@@ -35,15 +38,17 @@ func (w *spcsWorker) run() {
 		return
 	}
 	numNodes := g.NumNodes()
-	heap := w.opts.newHeap(numNodes * kLocal)
-	settled := make([]bool, numNodes*kLocal)
-	// maxconn(v): highest global connection index settled at v so far; -1
-	// when unvisited. Self-pruning compares global indexes, which within
-	// one worker coincide with departure-time order.
-	maxconn := make([]int32, numNodes)
-	for i := range maxconn {
-		maxconn[i] = -1
-	}
+	gen := w.gen
+	heap := w.ws.heap(w.opts, numNodes*kLocal)
+	// settled and maxconn are generation-stamped: a slot is unsettled (and
+	// maxconn(v) = -1, unvisited) unless its stamp equals this query's
+	// generation, so no O(n·k) clearing sweep runs between queries.
+	settledGen := growU32(w.ws.settledGen, numNodes*kLocal)
+	w.ws.settledGen = settledGen
+	maxconn := growI32(w.ws.maxconn, numNodes)
+	w.ws.maxconn = maxconn
+	maxconnGen := growU32(w.ws.maxconnGen, numNodes)
+	w.ws.maxconnGen = maxconnGen
 
 	item := func(v graph.NodeID, iLocal int) int32 { return int32(int(v)*kLocal + iLocal) }
 
@@ -66,27 +71,31 @@ func (w *spcsWorker) run() {
 		v := graph.NodeID(int(it) / kLocal)
 		iLocal := int(it) % kLocal
 		i := w.lo + iLocal
-		settled[it] = true
+		settledGen[it] = gen
 
 		// Self-pruning: v was settled earlier by a later connection j > i
 		// with arr(v, j) ≤ arr(v, i); connection i does not pay off here.
-		if !w.opts.DisableSelfPruning && int32(i) <= maxconn[v] {
+		mc := int32(-1)
+		if maxconnGen[v] == gen {
+			mc = maxconn[v]
+		}
+		if !w.opts.DisableSelfPruning && int32(i) <= mc {
 			w.counters.PrunedConns++
 			continue // arr stays Infinity: connection i does not 'reach' v
 		}
-		if int32(i) > maxconn[v] {
+		if int32(i) > mc {
 			maxconn[v] = int32(i)
+			maxconnGen[v] = gen
 		}
-		li := res.label(v, i)
-		res.arr[li] = key
+		res.setArr(res.label(v, i), key)
 		w.counters.SettledConns++
 
-		w.relax(heap, settled, v, i, iLocal, key, kLocal)
+		w.relax(heap, settledGen, v, i, iLocal, key, kLocal)
 	}
 }
 
 // relax expands all outgoing edges of (v, i) at arrival time key.
-func (w *spcsWorker) relax(heap heapLike, settled []bool, v graph.NodeID, i, iLocal int, key timeutil.Ticks, kLocal int) {
+func (w *spcsWorker) relax(heap heapLike, settledGen []uint32, v graph.NodeID, i, iLocal int, key timeutil.Ticks, kLocal int) {
 	g, res := w.g, w.res
 	edges := g.OutEdges(v)
 	for e := range edges {
@@ -98,15 +107,13 @@ func (w *spcsWorker) relax(heap heapLike, settled []bool, v graph.NodeID, i, iLo
 		}
 		head := edge.Head
 		hi := int(head)*kLocal + iLocal
-		if settled[hi] {
+		if settledGen[hi] == w.gen {
 			continue // connection-setting: (head, i) already final
 		}
 		if heap.Push(int32(hi), arrTent) {
 			w.counters.QueuePushes++
-			if res.parentNode != nil {
-				pl := res.label(head, i)
-				res.parentNode[pl] = v
-				res.parentConn[pl] = ride
+			if res.hasParents {
+				res.setParent(res.label(head, i), v, ride)
 			}
 		}
 	}
@@ -126,8 +133,12 @@ type heapLike interface {
 // construction since workers write disjoint connection columns, and the
 // per-station connection reduction of ProfileResult restores the FIFO
 // property that is not guaranteed across threads.
+//
+// The result owns a private workspace and stays valid indefinitely; for
+// steady-state query traffic, use Workspace.OneToAll with a pooled
+// workspace instead and consume the result before the next query.
 func OneToAll(g *graph.Graph, source timetable.StationID, opts Options) (*ProfileResult, error) {
-	return OneToAllWindow(g, source, 0, timeutil.Infinity, opts)
+	return NewWorkspace().OneToAllWindow(g, source, 0, timeutil.Infinity, opts)
 }
 
 // OneToAllWindow runs the profile search restricted to itineraries leaving
@@ -135,6 +146,19 @@ func OneToAll(g *graph.Graph, source timetable.StationID, opts Options) (*Profil
 // referenced in the paper's related work. The resulting profiles cover
 // exactly the departures in the window; with [0, ∞) it is OneToAll.
 func OneToAllWindow(g *graph.Graph, source timetable.StationID, from, to timeutil.Ticks, opts Options) (*ProfileResult, error) {
+	return NewWorkspace().OneToAllWindow(g, source, from, to, opts)
+}
+
+// OneToAll is the workspace-reusing form of the package-level OneToAll.
+// The result borrows workspace memory and is valid until the next query on
+// this workspace.
+func (ws *Workspace) OneToAll(g *graph.Graph, source timetable.StationID, opts Options) (*ProfileResult, error) {
+	return ws.OneToAllWindow(g, source, 0, timeutil.Infinity, opts)
+}
+
+// OneToAllWindow is the workspace-reusing form of the package-level
+// OneToAllWindow.
+func (ws *Workspace) OneToAllWindow(g *graph.Graph, source timetable.StationID, from, to timeutil.Ticks, opts Options) (*ProfileResult, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
@@ -145,33 +169,41 @@ func OneToAllWindow(g *graph.Graph, source timetable.StationID, from, to timeuti
 		return nil, fmt.Errorf("core: empty departure window [%d, %d]", from, to)
 	}
 	start := time.Now()
-	res := newProfileResultWindow(g, source, opts, from, to)
+	res := ws.newProfileResultWindow(g, source, opts, from, to)
 	p := opts.threads()
-	bounds := partition(res.Deps, g.TT.Period, p, opts.Partition)
+	ws.bounds = partitionInto(ws.bounds, res.Deps, g.TT.Period, p, opts.Partition)
+	bounds := ws.bounds
 	nw := len(bounds) - 1
 
-	workers := make([]*spcsWorker, nw)
+	if cap(ws.spcsBuf) < nw {
+		ws.spcsBuf = make([]spcsWorker, nw)
+	}
+	workers := ws.spcsBuf[:nw]
 	for t := 0; t < nw; t++ {
-		workers[t] = &spcsWorker{g: g, res: res, opts: opts, lo: bounds[t], hi: bounds[t+1]}
+		workers[t] = spcsWorker{
+			g: g, res: res, opts: opts,
+			lo: bounds[t], hi: bounds[t+1],
+			ws: ws.worker(t), gen: res.gen,
+		}
 	}
 	if nw == 1 {
 		workers[0].run()
 	} else {
 		var wg sync.WaitGroup
-		for _, w := range workers {
+		for t := range workers {
 			wg.Add(1)
 			go func(w *spcsWorker) {
 				defer wg.Done()
 				w.run()
-			}(w)
+			}(&workers[t])
 		}
 		wg.Wait()
 	}
 
-	res.Run.PerThread = make([]stats.Counters, nw)
-	for t, w := range workers {
-		res.Run.PerThread[t] = w.counters
-		res.Run.Total.Add(w.counters)
+	res.Run.PerThread = ws.counters(nw)
+	for t := range workers {
+		res.Run.PerThread[t] = workers[t].counters
+		res.Run.Total.Add(workers[t].counters)
 	}
 	res.Run.Elapsed = time.Since(start)
 	return res, nil

@@ -11,22 +11,32 @@ import (
 )
 
 // TimeQueryResult holds dist(S, ·, τ) for one departure time: the earliest
-// absolute arrival time at every node.
+// absolute arrival time at every node. The arrival store is
+// generation-stamped workspace memory; results from Workspace.TimeQuery
+// are valid until the next query on the same workspace, while the
+// package-level TimeQuery binds a private workspace to the result.
 type TimeQueryResult struct {
 	Source timetable.StationID
 	Depart timeutil.Ticks
 	Run    stats.Run
 
-	g   *graph.Graph
-	arr []timeutil.Ticks
+	g      *graph.Graph
+	arr    []timeutil.Ticks
+	arrGen []uint32
+	gen    uint32
 }
 
 // Arrival returns the earliest arrival at a node.
-func (r *TimeQueryResult) Arrival(v graph.NodeID) timeutil.Ticks { return r.arr[v] }
+func (r *TimeQueryResult) Arrival(v graph.NodeID) timeutil.Ticks {
+	if r.arrGen[v] != r.gen {
+		return timeutil.Infinity
+	}
+	return r.arr[v]
+}
 
 // StationArrival returns the earliest arrival at a station.
 func (r *TimeQueryResult) StationArrival(s timetable.StationID) timeutil.Ticks {
-	return r.arr[r.g.StationNode(s)]
+	return r.Arrival(r.g.StationNode(s))
 }
 
 // TimeQuery computes dist(S, ·, τ) with the time-dependent Dijkstra variant
@@ -38,6 +48,13 @@ func (r *TimeQueryResult) StationArrival(s timetable.StationID) timeutil.Ticks {
 // S and every route node at S are seeded at τ, so no transfer time is paid
 // for boarding the first train.
 func TimeQuery(g *graph.Graph, source timetable.StationID, depart timeutil.Ticks, opts Options) (*TimeQueryResult, error) {
+	return NewWorkspace().TimeQuery(g, source, depart, opts)
+}
+
+// TimeQuery is the workspace-reusing form of the package-level TimeQuery:
+// the steady state allocates nothing. The result borrows workspace memory
+// and is valid until the next query on this workspace.
+func (ws *Workspace) TimeQuery(g *graph.Graph, source timetable.StationID, depart timeutil.Ticks, opts Options) (*TimeQueryResult, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
@@ -48,17 +65,22 @@ func TimeQuery(g *graph.Graph, source timetable.StationID, depart timeutil.Ticks
 		return nil, fmt.Errorf("core: negative departure time %d", depart)
 	}
 	start := time.Now()
-	res := &TimeQueryResult{Source: source, Depart: depart, g: g}
-	res.arr = make([]timeutil.Ticks, g.NumNodes())
-	for i := range res.arr {
-		res.arr[i] = timeutil.Infinity
+	gen := ws.begin()
+	n := g.NumNodes()
+	ws.nodeArr = growTicks(ws.nodeArr, n)
+	ws.nodeArrGen = growU32(ws.nodeArrGen, n)
+	ws.nodeSetGen = growU32(ws.nodeSetGen, n)
+	res := &ws.tres
+	*res = TimeQueryResult{
+		Source: source, Depart: depart, g: g,
+		arr: ws.nodeArr, arrGen: ws.nodeArrGen, gen: gen,
 	}
+	settledGen := ws.nodeSetGen
 	var c stats.Counters
-	heap := opts.newHeap(g.NumNodes())
-	settled := make([]bool, g.NumNodes())
+	heap := ws.worker(0).heap(opts, n)
 
 	push := func(v graph.NodeID, key timeutil.Ticks) {
-		if !settled[v] && heap.Push(int32(v), key) {
+		if settledGen[v] != gen && heap.Push(int32(v), key) {
 			c.QueuePushes++
 		}
 	}
@@ -75,8 +97,9 @@ func TimeQuery(g *graph.Graph, source timetable.StationID, depart timeutil.Ticks
 		it, key := heap.PopMin()
 		c.QueuePops++
 		v := graph.NodeID(it)
-		settled[v] = true
+		settledGen[v] = gen
 		res.arr[v] = key
+		res.arrGen[v] = gen
 		c.SettledConns++
 		edges := g.OutEdges(v)
 		for e := range edges {
@@ -87,7 +110,8 @@ func TimeQuery(g *graph.Graph, source timetable.StationID, depart timeutil.Ticks
 			}
 		}
 	}
-	res.Run.PerThread = []stats.Counters{c}
+	ws.pt1[0] = c
+	res.Run.PerThread = ws.pt1[:1]
 	res.Run.Total = c
 	res.Run.Elapsed = time.Since(start)
 	return res, nil

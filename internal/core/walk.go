@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"transit/internal/timetable"
 	"transit/internal/timeutil"
@@ -10,13 +11,17 @@ import (
 // walkDistances computes the shortest walking time from the source to every
 // footpath-reachable station (transitive closure over footpaths), including
 // the source itself at 0. Footpath graphs are tiny, so a simple scan-based
-// Dijkstra suffices.
-func walkDistances(tt *timetable.Timetable, source timetable.StationID) map[timetable.StationID]timeutil.Ticks {
-	dist := map[timetable.StationID]timeutil.Ticks{source: 0}
+// Dijkstra suffices. The returned map is workspace memory, reused by the
+// next query on the same workspace.
+func (ws *Workspace) walkDistances(tt *timetable.Timetable, source timetable.StationID) map[timetable.StationID]timeutil.Ticks {
+	dist := ws.walk
+	clear(dist)
+	dist[source] = 0
 	if len(tt.Footpaths) == 0 {
 		return dist
 	}
-	settled := map[timetable.StationID]bool{}
+	settled := ws.wseen
+	clear(settled)
 	for {
 		var u timetable.StationID = -1
 		best := timeutil.Infinity
@@ -60,41 +65,42 @@ func distOrInf(m map[timetable.StationID]timeutil.Ticks, s timetable.StationID) 
 // the graph model where footpaths arrive at station nodes and boarding
 // costs T; only departures from the source itself are buffer-free (the
 // paper's convention of seeding route nodes directly).
-func extendedConns(tt *timetable.Timetable, source timetable.StationID, walk map[timetable.StationID]timeutil.Ticks) ([]timetable.ConnID, []timeutil.Ticks) {
+//
+// The returned slices are workspace memory — except in the footpath-free
+// case, where the connection list is the timetable's own (immutable)
+// outgoing slice and only the departures are workspace-owned.
+func (ws *Workspace) extendedConns(tt *timetable.Timetable, source timetable.StationID, walk map[timetable.StationID]timeutil.Ticks) ([]timetable.ConnID, []timeutil.Ticks) {
 	if len(walk) == 1 {
 		// No footpaths from the source: exactly the paper's conn(S).
 		ids := tt.Outgoing(source)
-		deps := make([]timeutil.Ticks, len(ids))
+		ws.deps = growTicks(ws.deps, len(ids))
 		for i, id := range ids {
-			deps[i] = tt.Connections[id].Dep
+			ws.deps[i] = tt.Connections[id].Dep
 		}
-		return ids, deps
+		return ids, ws.deps
 	}
-	type seed struct {
-		id  timetable.ConnID
-		dep timeutil.Ticks
-	}
-	var seeds []seed
+	seeds := ws.seeds[:0]
 	for s, w := range walk {
 		lead := w
 		if s != source {
 			lead += tt.Stations[s].Transfer
 		}
 		for _, id := range tt.Outgoing(s) {
-			seeds = append(seeds, seed{id: id, dep: tt.Connections[id].Dep - lead})
+			seeds = append(seeds, connSeed{id: id, dep: tt.Connections[id].Dep - lead})
 		}
 	}
-	sort.Slice(seeds, func(i, j int) bool {
-		if seeds[i].dep != seeds[j].dep {
-			return seeds[i].dep < seeds[j].dep
+	slices.SortFunc(seeds, func(a, b connSeed) int {
+		if c := cmp.Compare(a.dep, b.dep); c != 0 {
+			return c
 		}
-		return seeds[i].id < seeds[j].id
+		return cmp.Compare(a.id, b.id)
 	})
-	ids := make([]timetable.ConnID, len(seeds))
-	deps := make([]timeutil.Ticks, len(seeds))
-	for i, s := range seeds {
-		ids[i] = s.id
-		deps[i] = s.dep
+	ws.seeds = seeds
+	ws.conns = ws.conns[:0]
+	ws.deps = ws.deps[:0]
+	for _, s := range seeds {
+		ws.conns = append(ws.conns, s.id)
+		ws.deps = append(ws.deps, s.dep)
 	}
-	return ids, deps
+	return ws.conns, ws.deps
 }

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"sync"
+
+	"transit/internal/dtable"
+	"transit/internal/graph"
+	"transit/internal/pq"
+	"transit/internal/stats"
+	"transit/internal/timetable"
+	"transit/internal/timeutil"
+)
+
+// Workspace owns every array, map and priority queue a query needs, so the
+// steady state allocates nothing: the paper's C++ implementation keeps its
+// search data structures alive across queries per thread, and Workspace is
+// the Go equivalent. A search checks the workspace out, bumps its
+// generation, and runs; label, settled and parent slots are valid only when
+// their stamp equals the current generation, so "reset to Infinity /
+// unsettled" is a single counter increment instead of an O(numNodes·k)
+// sweep.
+//
+// A Workspace is NOT safe for concurrent use: one query at a time. Use the
+// package pool (GetWorkspace / PutWorkspace) or one workspace per worker
+// goroutine for concurrency. Results returned by the workspace query
+// methods (OneToAll, StationToStation, TimeQuery, …) borrow workspace
+// memory and are valid only until the next query on the same workspace —
+// copy out what must survive, or use the package-level functions, which
+// return self-contained results.
+type Workspace struct {
+	gen uint32
+
+	// Shared profile label store arr(v, i), numNodes × k row-major, plus
+	// parent links for journey extraction. Written by all SPCS workers (at
+	// disjoint indexes), read through the result types.
+	arr        []timeutil.Ticks
+	arrGen     []uint32
+	parentNode []graph.NodeID
+	parentConn []timetable.ConnID
+	parentGen  []uint32
+
+	// Seed scratch for conn(S) construction (walk.go).
+	conns []timetable.ConnID
+	deps  []timeutil.Ticks
+	seeds []connSeed
+	walk  map[timetable.StationID]timeutil.Ticks
+	wseen map[timetable.StationID]bool
+
+	// Node- or station-indexed scratch shared by the time-query and the CSA
+	// baseline (their queries never overlap within one workspace).
+	nodeArr    []timeutil.Ticks
+	nodeArrGen []uint32
+	nodeSetGen []uint32 // settled stamps for the time-query
+
+	// CSA scratch.
+	aboardGen []uint32
+	dayIdx    []int
+	walkQueue []timetable.StationID
+
+	// Distance-table pruning scratch: isTransfer is rebuilt only when the
+	// query runs against a different table than the previous one.
+	isTransfer []bool
+	lastTable  *dtable.Table
+
+	// Partition boundary buffer.
+	bounds []int
+
+	// Per-thread search scratch, one entry per worker.
+	workers   []*workerSpace
+	spcsBuf   []spcsWorker
+	s2sBuf    []s2sWorker
+	perThread []stats.Counters
+	s2q       s2sQuery
+
+	// Reusable result shells (returned by the workspace query methods).
+	pres ProfileResult
+	sres StationQueryResult
+	tres TimeQueryResult
+	cres ConnectionScanResult
+	pt1  [1]stats.Counters
+}
+
+// connSeed pairs a seed connection with its effective departure (walk.go).
+type connSeed struct {
+	id  timetable.ConnID
+	dep timeutil.Ticks
+}
+
+// workerSpace is the per-thread portion of a workspace: the priority queue
+// and the label arrays a single search worker owns exclusively.
+type workerSpace struct {
+	heap2, heap4 *pq.Heap
+
+	settledGen []uint32 // numNodes × kLocal
+	maxconn    []int32  // numNodes; valid when maxconnGen matches
+	maxconnGen []uint32
+
+	// Station-to-station pruning state. anc needs no stamps: every entry is
+	// written on its first push of a query before it can be read (see
+	// s2sWorker.push). The k-sized arrays are refilled eagerly — they are
+	// O(k·|via|), not O(n·k), so a sweep is cheap.
+	anc        []bool // numNodes × kLocal
+	mu         []timeutil.Ticks
+	gamma      []timeutil.Ticks
+	connDone   []bool
+	noAncCount []int
+}
+
+// NewWorkspace returns an empty workspace; arrays grow on first use and are
+// then reused forever.
+func NewWorkspace() *Workspace {
+	return &Workspace{
+		gen:   0,
+		walk:  make(map[timetable.StationID]timeutil.Ticks),
+		wseen: make(map[timetable.StationID]bool),
+	}
+}
+
+var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
+
+// GetWorkspace checks a workspace out of the package pool. Pair with
+// PutWorkspace once every result borrowed from it is dead.
+func GetWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
+
+// PutWorkspace returns a workspace to the package pool. The caller must not
+// touch the workspace — or any result obtained from it — afterwards.
+func PutWorkspace(ws *Workspace) { wsPool.Put(ws) }
+
+// begin starts a new query generation. On the (once per 2^32 queries)
+// stamp wrap-around every stamp array is wiped, so a stale slot can never
+// collide with a live generation.
+func (ws *Workspace) begin() uint32 {
+	ws.gen++
+	if ws.gen == 0 {
+		wipe(ws.arrGen)
+		wipe(ws.parentGen)
+		wipe(ws.nodeArrGen)
+		wipe(ws.nodeSetGen)
+		wipe(ws.aboardGen)
+		for _, w := range ws.workers {
+			wipe(w.settledGen)
+			wipe(w.maxconnGen)
+		}
+		ws.gen = 1
+	}
+	return ws.gen
+}
+
+// wipe zeroes the full capacity of a stamp slice.
+func wipe(s []uint32) { clear(s[:cap(s)]) }
+
+// growTicks returns s with length n, reusing the backing array when it is
+// large enough. Contents are unspecified — callers gate reads with stamps
+// or overwrite eagerly.
+func growTicks(s []timeutil.Ticks, n int) []timeutil.Ticks {
+	if cap(s) < n {
+		return make([]timeutil.Ticks, n)
+	}
+	return s[:n]
+}
+
+// growU32 returns a stamp slice of length n. Newly exposed entries are
+// either zero (fresh array) or stamps of past generations; both read as
+// "unset" because generations only grow between wipes.
+func growU32(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// ensureLabels dimensions the shared label store for n labels.
+func (ws *Workspace) ensureLabels(n int, parents bool) {
+	ws.arr = growTicks(ws.arr, n)
+	ws.arrGen = growU32(ws.arrGen, n)
+	if parents {
+		if cap(ws.parentNode) < n {
+			ws.parentNode = make([]graph.NodeID, n)
+			ws.parentConn = make([]timetable.ConnID, n)
+		} else {
+			ws.parentNode = ws.parentNode[:n]
+			ws.parentConn = ws.parentConn[:n]
+		}
+		ws.parentGen = growU32(ws.parentGen, n)
+	}
+}
+
+// worker returns the t-th per-thread scratch space, creating it on demand.
+func (ws *Workspace) worker(t int) *workerSpace {
+	for len(ws.workers) <= t {
+		ws.workers = append(ws.workers, &workerSpace{})
+	}
+	return ws.workers[t]
+}
+
+// counters returns a zeroed per-thread counter slice of length nw.
+func (ws *Workspace) counters(nw int) []stats.Counters {
+	if cap(ws.perThread) < nw {
+		ws.perThread = make([]stats.Counters, nw)
+	}
+	ws.perThread = ws.perThread[:nw]
+	clear(ws.perThread)
+	return ws.perThread
+}
+
+// transferMarks returns the isTransfer array for a distance table, rebuilt
+// only when the table changed since the last query on this workspace.
+func (ws *Workspace) transferMarks(table *dtable.Table, ns int) []bool {
+	if ws.lastTable == table && len(ws.isTransfer) == ns {
+		return ws.isTransfer
+	}
+	ws.isTransfer = growBool(ws.isTransfer, ns)
+	clear(ws.isTransfer)
+	for _, s := range table.Stations() {
+		ws.isTransfer[s] = true
+	}
+	ws.lastTable = table
+	return ws.isTransfer
+}
+
+// heap returns the worker's queue for the requested arity, reset for
+// maxItems items. The pos index reuse inside pq.Heap.Reset is what makes
+// this O(1) instead of O(maxItems).
+func (w *workerSpace) heap(opts Options, maxItems int) *pq.Heap {
+	if opts.HeapArity == 4 {
+		if w.heap4 == nil {
+			w.heap4 = pq.New4(maxItems)
+		} else {
+			w.heap4.Reset(maxItems)
+		}
+		return w.heap4
+	}
+	if w.heap2 == nil {
+		w.heap2 = pq.New(maxItems)
+	} else {
+		w.heap2.Reset(maxItems)
+	}
+	return w.heap2
+}

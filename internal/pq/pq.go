@@ -7,6 +7,11 @@
 // (node, connection) pair indexes); each item can be in the queue at most
 // once, and Push doubles as decrease-key, matching how Dijkstra-style
 // algorithms use their queues.
+//
+// Heaps are built to be reused across queries: Reset invalidates the
+// position index in O(1) by bumping a generation stamp instead of sweeping
+// the O(maxItems) pos array, so a pooled heap costs nothing to hand to the
+// next query (the paper's per-thread data-structure reuse).
 package pq
 
 import (
@@ -19,9 +24,12 @@ type Heap struct {
 	arity int
 	keys  []timeutil.Ticks
 	items []int32
-	// pos maps item → heap slot + 1; 0 means absent. Sized on first use up
-	// to the capacity given at construction.
-	pos []int32
+	// pos maps item → heap slot + 1. An entry is meaningful only when its
+	// posGen stamp equals gen; anything else reads as "absent". Reset bumps
+	// gen, invalidating every entry at once.
+	pos    []int32
+	posGen []uint32
+	gen    uint32
 }
 
 // New returns a binary heap for items in [0, maxItems).
@@ -34,8 +42,10 @@ func New4(maxItems int) *Heap { return newHeap(4, maxItems) }
 
 func newHeap(arity, maxItems int) *Heap {
 	return &Heap{
-		arity: arity,
-		pos:   make([]int32, maxItems),
+		arity:  arity,
+		pos:    make([]int32, maxItems),
+		posGen: make([]uint32, maxItems),
+		gen:    1,
 	}
 }
 
@@ -45,23 +55,45 @@ func (h *Heap) Len() int { return len(h.keys) }
 // Empty reports whether the queue is empty.
 func (h *Heap) Empty() bool { return len(h.keys) == 0 }
 
-// Clear removes all items in O(n) without releasing memory, so a heap can
+// Clear removes all items in O(1) without releasing memory, so a heap can
 // be reused across queries.
-func (h *Heap) Clear() {
-	for _, it := range h.items {
-		h.pos[it] = 0
-	}
+func (h *Heap) Clear() { h.Reset(len(h.pos)) }
+
+// Reset empties the heap and re-dimensions it for items in [0, maxItems),
+// growing the position index when needed but never shrinking it. Unlike a
+// sweep over pos, Reset is O(1) (amortized, ignoring growth): it bumps the
+// generation stamp, so every stale pos entry reads as absent.
+func (h *Heap) Reset(maxItems int) {
 	h.keys = h.keys[:0]
 	h.items = h.items[:0]
+	if maxItems > len(h.pos) {
+		h.pos = make([]int32, maxItems)
+		h.posGen = make([]uint32, maxItems)
+		h.gen = 1
+		return
+	}
+	h.gen++
+	if h.gen == 0 { // stamp wrap-around: one real sweep every 2^32 resets
+		clear(h.posGen)
+		h.gen = 1
+	}
+}
+
+// slot returns the heap slot + 1 of an item, or 0 when absent.
+func (h *Heap) slot(item int32) int32 {
+	if h.posGen[item] != h.gen {
+		return 0
+	}
+	return h.pos[item]
 }
 
 // Contains reports whether the item is currently queued.
-func (h *Heap) Contains(item int32) bool { return h.pos[item] != 0 }
+func (h *Heap) Contains(item int32) bool { return h.slot(item) != 0 }
 
 // Key returns the current key of a queued item; it panics when the item is
 // absent, which always indicates a logic error in the caller.
 func (h *Heap) Key(item int32) timeutil.Ticks {
-	p := h.pos[item]
+	p := h.slot(item)
 	if p == 0 {
 		panic("pq: Key of absent item")
 	}
@@ -74,7 +106,7 @@ func (h *Heap) Key(item int32) timeutil.Ticks {
 // min(key, tentative) update of the algorithms. It reports whether the
 // queue changed.
 func (h *Heap) Push(item int32, key timeutil.Ticks) bool {
-	if p := h.pos[item]; p != 0 {
+	if p := h.slot(item); p != 0 {
 		i := int(p - 1)
 		if key >= h.keys[i] {
 			return false
@@ -87,6 +119,7 @@ func (h *Heap) Push(item int32, key timeutil.Ticks) bool {
 	h.items = append(h.items, item)
 	i := len(h.keys) - 1
 	h.pos[item] = int32(i + 1)
+	h.posGen[item] = h.gen
 	h.up(i)
 	return true
 }

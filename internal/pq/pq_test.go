@@ -183,3 +183,87 @@ func TestInterleaved(t *testing.T) {
 		}
 	}
 }
+
+// Reset must invalidate every queued item in O(1) and allow the heap to be
+// reused — including growing to a larger item universe — without any stale
+// position leaking into the next generation.
+func TestResetReuse(t *testing.T) {
+	h := New(8)
+	h.Push(3, 30)
+	h.Push(5, 50)
+	h.Reset(8)
+	if !h.Empty() || h.Len() != 0 {
+		t.Fatal("heap not empty after Reset")
+	}
+	for it := int32(0); it < 8; it++ {
+		if h.Contains(it) {
+			t.Fatalf("stale item %d survives Reset", it)
+		}
+	}
+	// Re-push the same items with different keys; old positions must not
+	// alias.
+	h.Push(5, 7)
+	h.Push(3, 9)
+	if it, key := h.PopMin(); it != 5 || key != 7 {
+		t.Fatalf("PopMin = (%d,%d) after Reset, want (5,7)", it, key)
+	}
+	// Growing Reset.
+	h.Reset(100)
+	h.Push(99, 1)
+	if !h.Contains(99) || h.Key(99) != 1 {
+		t.Fatal("grown heap broken")
+	}
+	if h.Contains(3) {
+		t.Fatal("stale item survives growing Reset")
+	}
+}
+
+// A reused heap must behave exactly like a fresh one over many random
+// generations (cross-validated against sorting).
+func TestResetGenerationsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	h := New4(64)
+	for gen := 0; gen < 200; gen++ {
+		h.Reset(64)
+		n := 1 + rng.Intn(40)
+		keys := map[int32]timeutil.Ticks{}
+		for i := 0; i < n; i++ {
+			it := int32(rng.Intn(64))
+			k := timeutil.Ticks(rng.Intn(1000))
+			if old, ok := keys[it]; !ok || k < old {
+				keys[it] = k
+			}
+			h.Push(it, k)
+		}
+		var want []int
+		for _, k := range keys {
+			want = append(want, int(k))
+		}
+		sort.Ints(want)
+		for i := 0; !h.Empty(); i++ {
+			it, key := h.PopMin()
+			if int(key) != want[i] {
+				t.Fatalf("gen %d: pop %d = %d, want %d", gen, i, key, want[i])
+			}
+			if key != keys[it] {
+				t.Fatalf("gen %d: item %d popped with key %d, want %d", gen, it, key, keys[it])
+			}
+		}
+	}
+}
+
+// Clear keeps its documented contract (empty, reusable) via the generation
+// mechanism.
+func TestClearIsReset(t *testing.T) {
+	h := New(4)
+	h.Push(0, 5)
+	h.Push(1, 3)
+	h.Clear()
+	if !h.Empty() || h.Contains(0) || h.Contains(1) {
+		t.Fatal("Clear did not empty the heap")
+	}
+	h.Push(1, 8)
+	if it, key := h.PopMin(); it != 1 || key != 8 {
+		t.Fatalf("PopMin = (%d,%d) after Clear", it, key)
+	}
+}

@@ -142,7 +142,8 @@ type PreprocessStats struct {
 }
 
 // EarliestArrival answers a plain time-query: the earliest arrival at dst
-// when departing src at dep.
+// when departing src at dep. Only a scalar escapes, so the query runs on a
+// pooled workspace and the steady state allocates nothing.
 func (n *Network) EarliestArrival(src, dst StationID, dep Ticks, opt Options) (Ticks, error) {
 	if err := n.checkStation(src); err != nil {
 		return Infinity, err
@@ -150,11 +151,15 @@ func (n *Network) EarliestArrival(src, dst StationID, dep Ticks, opt Options) (T
 	if err := n.checkStation(dst); err != nil {
 		return Infinity, err
 	}
-	res, err := core.TimeQuery(n.g, src, dep, opt.core())
+	ws := core.GetWorkspace()
+	res, err := ws.TimeQuery(n.g, src, dep, opt.core())
 	if err != nil {
+		core.PutWorkspace(ws)
 		return Infinity, err
 	}
-	return res.StationArrival(dst), nil
+	arr := res.StationArrival(dst)
+	core.PutWorkspace(ws)
+	return arr, nil
 }
 
 // Profile answers a station-to-station profile query: all best connections
@@ -173,12 +178,19 @@ func (n *Network) Profile(src, dst StationID, opt Options) (*Profile, *QueryStat
 		env.StationGraph = n.sg
 		env.Table = n.table
 	}
-	res, err := core.StationToStation(env, src, dst, core.QueryOptions{Options: opt.core()})
+	// The search runs on a pooled workspace: everything the returned
+	// Profile needs (the reduced distance function and the walk time) is
+	// extracted before the workspace goes back to the pool, so the O(n·k)
+	// search arrays never re-allocate in the steady state.
+	ws := core.GetWorkspace()
+	res, err := ws.StationToStation(env, src, dst, core.QueryOptions{Options: opt.core()})
 	if err != nil {
+		core.PutWorkspace(ws)
 		return nil, nil, err
 	}
 	fn, err := res.Profile()
 	if err != nil {
+		core.PutWorkspace(ws)
 		return nil, nil, err
 	}
 	st := &QueryStats{
@@ -189,7 +201,9 @@ func (n *Network) Profile(src, dst StationID, opt Options) (*Profile, *QueryStat
 		Local:              res.Local,
 		TableHit:           res.TableHit,
 	}
-	return &Profile{Source: src, Target: dst, fn: fn, period: n.tt.Period, walkOnly: res.WalkOnly}, st, nil
+	p := &Profile{Source: src, Target: dst, fn: fn, period: n.tt.Period, walkOnly: res.WalkOnly}
+	core.PutWorkspace(ws)
+	return p, st, nil
 }
 
 // Journey computes a concrete itinerary from src to dst for a departure at
