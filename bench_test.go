@@ -235,6 +235,60 @@ func BenchmarkAblationStopping(b *testing.B) {
 	}
 }
 
+// BenchmarkApplyDelays compares the two dynamic-update paths on a delay
+// batch of roughly 100 connections (one route class of the benchmark
+// network): ApplyDelays — the seed's full rebuild with re-validation, route
+// re-derivation and complete index reconstruction — against ApplyUpdates,
+// the incremental copy-on-write patch behind internal/live. The gap is the
+// per-update cost a live server saves on every delay message.
+func BenchmarkApplyDelays(b *testing.B) {
+	net := benchNet(b, "washington")
+	n := transitNetwork(net)
+	// Pick the route class whose connection count is closest to 100.
+	counts := map[int]int{}
+	for _, ci := range n.Connections() {
+		counts[ci.Route]++
+	}
+	route, batch := -1, 0
+	for r, c := range counts {
+		if route < 0 || absInt(c-100) < absInt(batch-100) || (absInt(c-100) == absInt(batch-100) && r < route) {
+			route, batch = r, c
+		}
+	}
+	if route < 0 {
+		b.Fatal("no routes")
+	}
+	b.Logf("delaying route %d: %d connections per batch", route, batch)
+	b.Run("full-rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := n.ApplyDelays(7, func(ci ConnectionInfo) bool { return ci.Route == route }); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(batch), "conns/batch")
+	})
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := n.ApplyUpdates([]DelayOp{{Routes: []int{route}, Delay: 7}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(batch), "conns/batch")
+	})
+}
+
+// transitNetwork wraps a bench network's timetable as a public Network.
+func transitNetwork(net *bench.Network) *Network { return NewNetwork(net.TT) }
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
 // BenchmarkPublicAPIQuery measures the end-to-end public API path.
 func BenchmarkPublicAPIQuery(b *testing.B) {
 	n, err := Generate("oahu", benchScale, 1)

@@ -1,40 +1,106 @@
 // Command tpserver exposes a network as a JSON-over-HTTP travel-information
 // service — the deployment shape the paper's query times target (sub-120 ms
-// station-to-station answers for interactive timetable information).
+// station-to-station answers for interactive timetable information), plus
+// the fully dynamic scenario of the paper's conclusion: delay messages are
+// ingested while the server runs and take effect immediately, with no
+// restart and no blocking of in-flight queries.
 //
-//	tpserver -net la.tt -preprocess 0.05 -listen :8080
+//	tpserver -net la.tt -preprocess 0.05 -repreprocess async -listen :8080
 //
 // Endpoints:
 //
-//	GET /stations                         list stations
-//	GET /arrival?from=ID&to=ID&at=HH:MM   earliest arrival
-//	GET /profile?from=ID&to=ID            all best connections of the day
-//	GET /journey?from=ID&to=ID&at=HH:MM   itinerary with legs
-//	GET /healthz                          liveness
+//	GET  /stations                         list stations
+//	GET  /arrival?from=ID&to=ID&at=HH:MM   earliest arrival
+//	GET  /profile?from=ID&to=ID            all best connections of the day
+//	GET  /journey?from=ID&to=ID&at=HH:MM   itinerary with legs
+//	POST /delays                           apply a delay/cancellation batch
+//	GET  /version                          snapshot epoch + provenance
+//	GET  /metrics                          Prometheus-style counters
+//	GET  /healthz                          liveness
 //
 // Query execution is allocation-free in the steady state: each request
 // goroutine checks a search workspace out of the library's pool
-// (internal/core), runs its query on generation-stamped reusable arrays,
-// and returns the workspace — the /arrival and /profile hot paths never
-// re-allocate or Infinity-fill their O(nodes × connections) label arrays,
-// no matter how many concurrent clients hammer the server.
+// (internal/core) and runs on generation-stamped reusable arrays.
+//
+// Dynamic updates run through internal/live: every request atomically loads
+// the current network snapshot, POST /delays patches a successor snapshot
+// incrementally (copy-on-write of only the touched connection and ride-edge
+// slices) and swaps it in, so concurrent queries always see one consistent
+// version. The -repreprocess flag picks what happens to the distance table
+// an update invalidates: rebuild it in the background (async), before the
+// swap (sync), or serve unpruned (off).
+//
+// A POST /delays body is a JSON batch of train-level operations:
+//
+//	{"ops": [
+//	  {"train": "IC 106", "delay_min": 15},
+//	  {"route": 4, "from": "07:00", "to": "10:00", "delay_min": 20},
+//	  {"train": "RE 7", "cancel": true}
+//	]}
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: the listener closes,
+// in-flight queries drain (bounded by -shutdown-timeout), and background
+// re-preprocessing is awaited before exit.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"sort"
 	"strconv"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"transit"
+	"transit/internal/live"
 )
 
 type server struct {
-	net     *transit.Network
+	reg     *live.Registry
 	threads int
+
+	// Per-endpoint request counters (GET /metrics). The map is fully
+	// populated by newMux before the server starts; afterwards only the
+	// atomic values move, so concurrent reads need no lock.
+	hits map[string]*atomic.Uint64
+}
+
+func newServer(reg *live.Registry, threads int) *server {
+	return &server{reg: reg, threads: threads, hits: make(map[string]*atomic.Uint64)}
+}
+
+// count registers a request counter for the endpoint and wraps its handler.
+func (s *server) count(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	c := &atomic.Uint64{}
+	s.hits[endpoint] = c
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.Add(1)
+		h(w, r)
+	}
+}
+
+func newMux(s *server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /stations", s.count("stations", s.stations))
+	mux.HandleFunc("GET /arrival", s.count("arrival", s.arrival))
+	mux.HandleFunc("GET /profile", s.count("profile", s.profile))
+	mux.HandleFunc("GET /journey", s.count("journey", s.journey))
+	mux.HandleFunc("POST /delays", s.count("delays", s.delays))
+	mux.HandleFunc("GET /version", s.count("version", s.version))
+	mux.HandleFunc("GET /metrics", s.metrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
 }
 
 func main() {
@@ -43,8 +109,10 @@ func main() {
 	family := flag.String("generate", "", "serve a synthetic family instead of a file")
 	scale := flag.Float64("scale", 0.25, "scale for -generate")
 	preprocess := flag.Float64("preprocess", 0.05, "transfer-station fraction (0 = no distance table)")
+	repreprocess := flag.String("repreprocess", "async", "distance table policy after a delay update: async, sync or off")
 	threads := flag.Int("threads", 1, "parallel workers per query")
 	listen := flag.String("listen", ":8080", "listen address")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 15*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
 
 	n, err := load(*netFile, *gtfsDir, *family, *scale)
@@ -52,27 +120,58 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("loaded network: %s", n.Stats())
+	sel := transit.TransferSelection{Fraction: *preprocess}
 	if *preprocess > 0 {
 		var ps *transit.PreprocessStats
-		n, ps, err = n.Preprocess(transit.TransferSelection{Fraction: *preprocess}, transit.Options{Threads: *threads})
+		n, ps, err = n.Preprocess(sel, transit.Options{Threads: *threads})
 		if err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("preprocessed %d transfer stations in %v (%.1f MiB)",
 			ps.TransferStations, ps.Elapsed, float64(ps.TableBytes)/(1<<20))
 	}
-	s := &server{net: n, threads: *threads}
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /stations", s.stations)
-	mux.HandleFunc("GET /arrival", s.arrival)
-	mux.HandleFunc("GET /profile", s.profile)
-	mux.HandleFunc("GET /journey", s.journey)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
+	policy, err := live.ParsePolicy(*repreprocess)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *preprocess <= 0 {
+		policy = live.ServeUnpruned // nothing to rebuild
+	}
+	reg := live.NewRegistry(n, live.Config{
+		Policy:    policy,
+		Selection: sel,
+		Options:   transit.Options{Threads: *threads},
+		Logf:      log.Printf,
 	})
-	log.Printf("listening on %s", *listen)
-	log.Fatal(http.ListenAndServe(*listen, mux))
+	s := newServer(reg, *threads)
+
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           newMux(s),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("listening on %s (delay updates: %s re-preprocessing)", *listen, policy)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutting down: draining in-flight queries (budget %v)", *shutdownTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("tpserver: shutdown: %v", err)
+		}
+		reg.Close() // wait for background re-preprocessing, release the last snapshot
+		log.Printf("bye (final epoch %d)", reg.Snapshot().Epoch)
+	}
 }
 
 func load(netFile, gtfsDir, family string, scale float64) (*transit.Network, error) {
@@ -102,25 +201,27 @@ type stationJSON struct {
 }
 
 func (s *server) stations(w http.ResponseWriter, r *http.Request) {
-	out := make([]stationJSON, s.net.NumStations())
+	n := s.reg.Snapshot().Net
+	out := make([]stationJSON, n.NumStations())
 	for i := range out {
-		st := s.net.Station(transit.StationID(i))
+		st := n.Station(transit.StationID(i))
 		out[i] = stationJSON{ID: int(st.ID), Name: st.Name, Transfer: int(st.Transfer), X: st.X, Y: st.Y}
 	}
 	writeJSON(w, out)
 }
 
-func (s *server) parsePair(r *http.Request) (from, to transit.StationID, err error) {
+func parsePair(n *transit.Network, r *http.Request) (from, to transit.StationID, err error) {
 	f, err1 := strconv.Atoi(r.URL.Query().Get("from"))
 	t, err2 := strconv.Atoi(r.URL.Query().Get("to"))
-	if err1 != nil || err2 != nil || f < 0 || t < 0 || f >= s.net.NumStations() || t >= s.net.NumStations() {
+	if err1 != nil || err2 != nil || f < 0 || t < 0 || f >= n.NumStations() || t >= n.NumStations() {
 		return 0, 0, fmt.Errorf("invalid from/to")
 	}
 	return transit.StationID(f), transit.StationID(t), nil
 }
 
 func (s *server) arrival(w http.ResponseWriter, r *http.Request) {
-	from, to, err := s.parsePair(r)
+	n := s.reg.Snapshot().Net // one load: the whole request sees this version
+	from, to, err := parsePair(n, r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -130,29 +231,30 @@ func (s *server) arrival(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	arr, err := s.net.EarliestArrival(from, to, dep, transit.Options{Threads: s.threads})
+	arr, err := n.EarliestArrival(from, to, dep, transit.Options{Threads: s.threads})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	resp := map[string]any{"from": from, "to": to, "depart": s.net.FormatClock(dep)}
+	resp := map[string]any{"from": from, "to": to, "depart": n.FormatClock(dep)}
 	if arr.IsInf() {
 		resp["reachable"] = false
 	} else {
 		resp["reachable"] = true
-		resp["arrive"] = s.net.FormatClock(arr)
+		resp["arrive"] = n.FormatClock(arr)
 		resp["minutes"] = int(arr - dep)
 	}
 	writeJSON(w, resp)
 }
 
 func (s *server) profile(w http.ResponseWriter, r *http.Request) {
-	from, to, err := s.parsePair(r)
+	n := s.reg.Snapshot().Net
+	from, to, err := parsePair(n, r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	p, st, err := s.net.Profile(from, to, transit.Options{Threads: s.threads})
+	p, st, err := n.Profile(from, to, transit.Options{Threads: s.threads})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -171,8 +273,8 @@ func (s *server) profile(w http.ResponseWriter, r *http.Request) {
 	}{From: from, To: to, QueryMS: float64(st.Elapsed.Microseconds()) / 1000}
 	for _, c := range conns {
 		out.Connections = append(out.Connections, connJSON{
-			Depart:  s.net.FormatClock(c.Departure),
-			Arrive:  s.net.FormatClock(c.Arrival),
+			Depart:  n.FormatClock(c.Departure),
+			Arrive:  n.FormatClock(c.Arrival),
 			Minutes: int(c.Arrival - c.Departure),
 		})
 	}
@@ -180,7 +282,8 @@ func (s *server) profile(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) journey(w http.ResponseWriter, r *http.Request) {
-	from, to, err := s.parsePair(r)
+	n := s.reg.Snapshot().Net
+	from, to, err := parsePair(n, r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -190,7 +293,7 @@ func (s *server) journey(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	all, err := s.net.ProfileAll(from, transit.Options{Threads: s.threads, TrackJourneys: true})
+	all, err := n.ProfileAll(from, transit.Options{Threads: s.threads, TrackJourneys: true})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -214,11 +317,126 @@ func (s *server) journey(w http.ResponseWriter, r *http.Request) {
 	}{Transfers: j.Transfers()}
 	for _, l := range j.Legs {
 		out.Legs = append(out.Legs, legJSON{
-			Train: l.Train, From: l.FromName, Depart: s.net.FormatClock(l.Departure),
-			To: l.ToName, Arrive: s.net.FormatClock(l.Arrival), Stops: l.Stops,
+			Train: l.Train, From: l.FromName, Depart: n.FormatClock(l.Departure),
+			To: l.ToName, Arrive: n.FormatClock(l.Arrival), Stops: l.Stops,
 		})
 	}
 	writeJSON(w, out)
+}
+
+// delayOpJSON is the wire form of one POST /delays operation. Either a
+// single "route" or a "routes" list selects route classes.
+type delayOpJSON struct {
+	Train    string `json:"train,omitempty"`
+	Route    *int   `json:"route,omitempty"`
+	Routes   []int  `json:"routes,omitempty"`
+	From     string `json:"from,omitempty"` // departure window start, "HH:MM"
+	To       string `json:"to,omitempty"`   // departure window end, "HH:MM"
+	DelayMin int    `json:"delay_min,omitempty"`
+	Cancel   bool   `json:"cancel,omitempty"`
+}
+
+func (s *server) delays(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Ops []delayOpJSON `json:"ops"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad delay batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Ops) == 0 {
+		http.Error(w, "empty delay batch", http.StatusBadRequest)
+		return
+	}
+	ops := make([]transit.DelayOp, len(req.Ops))
+	for i, o := range req.Ops {
+		op := transit.DelayOp{Train: o.Train, Routes: o.Routes, Delay: transit.Ticks(o.DelayMin), Cancel: o.Cancel}
+		if o.Route != nil {
+			op.Routes = append(op.Routes, *o.Route)
+		}
+		if o.From != "" {
+			t, err := transit.ParseClock(o.From)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("op %d: %v", i, err), http.StatusBadRequest)
+				return
+			}
+			op.WindowFrom = t
+		}
+		if o.To != "" {
+			t, err := transit.ParseClock(o.To)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("op %d: %v", i, err), http.StatusBadRequest)
+				return
+			}
+			op.WindowTo = t
+		}
+		ops[i] = op
+	}
+	snap, st, err := s.reg.Apply(ops)
+	switch {
+	case err == nil:
+	case errors.Is(err, live.ErrClosed):
+		// Shutting down: tell feed clients to retry against the next
+		// instance rather than drop the batch as malformed.
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, live.ErrReprocess):
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"epoch":            snap.Epoch,
+		"trains_delayed":   st.TrainsDelayed,
+		"trains_cancelled": st.TrainsCancelled,
+		"conns_retimed":    st.ConnsRetimed,
+		"conns_cancelled":  st.ConnsCancelled,
+		"update_ms":        float64(st.Elapsed.Microseconds()) / 1000,
+		"preprocessed":     snap.Preprocessed(),
+	})
+}
+
+func (s *server) version(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	st := snap.Net.Timetable().Stats()
+	writeJSON(w, map[string]any{
+		"epoch":        snap.Epoch,
+		"created":      snap.Created.UTC().Format(time.RFC3339Nano),
+		"preprocessed": snap.Preprocessed(),
+		"stations":     st.Stations,
+		"trains":       st.Trains,
+		"connections":  st.Connections,
+	})
+}
+
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	m := s.reg.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "tpserver_snapshot_epoch %d\n", m.Epoch)
+	fmt.Fprintf(w, "tpserver_snapshot_preprocessed %d\n", b2i(m.Preprocessed))
+	fmt.Fprintf(w, "tpserver_updates_total %d\n", m.UpdatesTotal)
+	fmt.Fprintf(w, "tpserver_update_last_seconds %g\n", m.LastUpdate.Seconds())
+	fmt.Fprintf(w, "tpserver_connections_retimed_total %d\n", m.ConnsRetimed)
+	fmt.Fprintf(w, "tpserver_connections_cancelled_total %d\n", m.ConnsCancelled)
+	fmt.Fprintf(w, "tpserver_repreprocess_total %d\n", m.ReprocessedTotal)
+	fmt.Fprintf(w, "tpserver_repreprocess_errors_total %d\n", m.ReprocessErrors)
+	names := make([]string, 0, len(s.hits))
+	for name := range s.hits {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "tpserver_requests_total{endpoint=%q} %d\n", name, s.hits[name].Load())
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

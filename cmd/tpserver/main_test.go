@@ -5,10 +5,19 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 
 	"transit"
+	"transit/internal/live"
 )
+
+func serverFor(t *testing.T, n *transit.Network) (*server, *http.ServeMux) {
+	t.Helper()
+	s := newServer(live.NewRegistry(n, live.Config{Policy: live.ServeUnpruned}), 1)
+	return s, newMux(s)
+}
 
 func testServer(t *testing.T) (*server, *http.ServeMux) {
 	t.Helper()
@@ -16,13 +25,27 @@ func testServer(t *testing.T) (*server, *http.ServeMux) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &server{net: n, threads: 1}
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /stations", s.stations)
-	mux.HandleFunc("GET /arrival", s.arrival)
-	mux.HandleFunc("GET /profile", s.profile)
-	mux.HandleFunc("GET /journey", s.journey)
-	return s, mux
+	return serverFor(t, n)
+}
+
+// hourlyNetwork is a deterministic two-station network: trains "h" leave A
+// hourly 06:00–22:00 and reach B 30 minutes later.
+func hourlyNetwork(t testing.TB) *transit.Network {
+	t.Helper()
+	tb := transit.NewTimetableBuilder(0)
+	a := tb.AddStation("A", 2)
+	b := tb.AddStation("B", 2)
+	for h := 6; h <= 22; h++ {
+		if err := tb.AddTrain(fmt.Sprintf("h%02d", h), []transit.StationID{a, b},
+			transit.Ticks(h*60), []transit.Ticks{30}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := tb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
 }
 
 func get(t *testing.T, mux *http.ServeMux, url string) *httptest.ResponseRecorder {
@@ -31,6 +54,31 @@ func get(t *testing.T, mux *http.ServeMux, url string) *httptest.ResponseRecorde
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, req)
 	return rec
+}
+
+func post(t *testing.T, mux *http.ServeMux, url, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec
+}
+
+func arrivalAt(t *testing.T, mux *http.ServeMux, from, to int, at string) string {
+	t.Helper()
+	rec := get(t, mux, fmt.Sprintf("/arrival?from=%d&to=%d&at=%s", from, to, at))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("arrival status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["reachable"] != true {
+		t.Fatalf("unreachable: %v", out)
+	}
+	return out["arrive"].(string)
 }
 
 func TestStationsEndpoint(t *testing.T) {
@@ -43,8 +91,8 @@ func TestStationsEndpoint(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
 		t.Fatal(err)
 	}
-	if len(out) != s.net.NumStations() {
-		t.Fatalf("stations = %d, want %d", len(out), s.net.NumStations())
+	if len(out) != s.reg.Snapshot().Net.NumStations() {
+		t.Fatalf("stations = %d, want %d", len(out), s.reg.Snapshot().Net.NumStations())
 	}
 	if out[0].ID != 0 || out[0].Name == "" {
 		t.Fatalf("station 0 malformed: %+v", out[0])
@@ -155,9 +203,7 @@ func TestArrivalUnreachable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &server{net: n, threads: 1}
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /arrival", s.arrival)
+	_, mux := serverFor(t, n)
 	rec := get(t, mux, fmt.Sprintf("/arrival?from=%d&to=%d&at=08:00", bb, a))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
@@ -168,5 +214,172 @@ func TestArrivalUnreachable(t *testing.T) {
 	}
 	if out["reachable"] != false {
 		t.Fatalf("unreachable pair reported reachable: %v", out)
+	}
+}
+
+func TestDelaysEndpointChangesAnswers(t *testing.T) {
+	_, mux := serverFor(t, hourlyNetwork(t))
+	if got := arrivalAt(t, mux, 0, 1, "08:00"); got != "08:30" {
+		t.Fatalf("pre-delay arrival %s, want 08:30", got)
+	}
+	// Delay the 08:00 train by 20 minutes: the 08:00 traveller now rides it
+	// at 08:20 and arrives 08:50.
+	rec := post(t, mux, "/delays", `{"ops":[{"train":"h08","delay_min":20}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delays status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["epoch"].(float64) != 1 || resp["conns_retimed"].(float64) != 1 {
+		t.Fatalf("delay response: %v", resp)
+	}
+	if got := arrivalAt(t, mux, 0, 1, "08:00"); got != "08:50" {
+		t.Fatalf("post-delay arrival %s, want 08:50", got)
+	}
+	// Cancel it: the traveller falls through to the 09:00 train.
+	rec = post(t, mux, "/delays", `{"ops":[{"train":"h08","cancel":true}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cancel status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := arrivalAt(t, mux, 0, 1, "08:00"); got != "09:30" {
+		t.Fatalf("post-cancel arrival %s, want 09:30", got)
+	}
+	// /version reflects the swaps.
+	rec = get(t, mux, "/version")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("version status %d", rec.Code)
+	}
+	var ver map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &ver); err != nil {
+		t.Fatal(err)
+	}
+	if ver["epoch"].(float64) != 2 {
+		t.Fatalf("version epoch %v, want 2", ver["epoch"])
+	}
+}
+
+func TestDelaysEndpointValidation(t *testing.T) {
+	_, mux := serverFor(t, hourlyNetwork(t))
+	for body, want := range map[string]int{
+		`not json`:                             http.StatusBadRequest,
+		`{"ops":[]}`:                           http.StatusBadRequest,
+		`{"ops":[{"route":99,"delay_min":5}]}`: http.StatusBadRequest, // unknown route
+		`{"ops":[{"from":"27:99","delay_min":5}]}`: http.StatusBadRequest, // bad clock
+		`{"ops":[{"train":"h08","delay_min":5}]}`:  http.StatusOK,
+		`{"ops":[{"train":"no-such-train"}]}`:      http.StatusOK, // no-op batch is fine
+	} {
+		if rec := post(t, mux, "/delays", body); rec.Code != want {
+			t.Errorf("body %q: status %d, want %d (%s)", body, rec.Code, want, rec.Body.String())
+		}
+	}
+	// Method guard: GET /delays must not exist.
+	if rec := get(t, mux, "/delays"); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /delays status %d, want 405", rec.Code)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, mux := serverFor(t, hourlyNetwork(t))
+	arrivalAt(t, mux, 0, 1, "08:00")
+	arrivalAt(t, mux, 0, 1, "09:00")
+	post(t, mux, "/delays", `{"ops":[{"train":"h08","delay_min":5}]}`)
+	rec := get(t, mux, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"tpserver_snapshot_epoch 1",
+		"tpserver_updates_total 1",
+		"tpserver_connections_retimed_total 1",
+		`tpserver_requests_total{endpoint="arrival"} 2`,
+		`tpserver_requests_total{endpoint="delays"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestConcurrentDelaysAndQueries is the live-update integration test the CI
+// race job runs: a real HTTP server on a synthetic network, concurrent
+// /arrival readers racing /delays writers. It asserts no 5xx, race
+// cleanliness (under -race), and that the post-update answer reflects the
+// accumulated delay.
+func TestConcurrentDelaysAndQueries(t *testing.T) {
+	_, mux := serverFor(t, hourlyNetwork(t))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	const (
+		readers = 8
+		queries = 40
+		batches = 20 // sequential posts of +1 min each to the 08:00 train
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, readers*queries+batches)
+
+	wg.Add(1)
+	go func() { // writer: 20 batches of +1 minute
+		defer wg.Done()
+		for i := 0; i < batches; i++ {
+			resp, err := http.Post(srv.URL+"/delays", "application/json",
+				strings.NewReader(`{"ops":[{"train":"h08","delay_min":1}]}`))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode >= 500 {
+				errs <- fmt.Errorf("delays returned %d", resp.StatusCode)
+			}
+		}
+	}()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := 0; q < queries; q++ {
+				resp, err := http.Get(srv.URL + "/arrival?from=0&to=1&at=08:00")
+				if err != nil {
+					errs <- err
+					return
+				}
+				var out map[string]any
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if resp.StatusCode >= 500 {
+					errs <- fmt.Errorf("arrival returned %d", resp.StatusCode)
+					continue
+				}
+				if err != nil {
+					errs <- err
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// All 20 one-minute delays accumulated: the 08:00 train now departs
+	// 08:20 and arrives 08:50.
+	if got := arrivalAt(t, mux, 0, 1, "08:00"); got != "08:50" {
+		t.Fatalf("final arrival %s, want 08:50 after 20×1min delays", got)
+	}
+	resp, err := http.Get(srv.URL + "/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ver map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&ver); err != nil {
+		t.Fatal(err)
+	}
+	if ver["epoch"].(float64) != batches {
+		t.Fatalf("final epoch %v, want %d", ver["epoch"], batches)
 	}
 }

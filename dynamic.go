@@ -2,6 +2,7 @@ package transit
 
 import (
 	"fmt"
+	"time"
 
 	"transit/internal/timetable"
 	"transit/internal/timeutil"
@@ -18,6 +19,10 @@ type ConnectionInfo struct {
 	To    StationID
 	Dep   Ticks // departure time point within the period
 	Arr   Ticks // absolute arrival time (≥ Dep; may exceed the period)
+	// Cancelled marks connections removed by a dynamic update (ApplyUpdates
+	// with DelayOp.Cancel): they keep their slot — IDs stay dense — but are
+	// excluded from every query structure and never boarded.
+	Cancelled bool
 }
 
 // Connections lists all elementary connections of the network.
@@ -31,12 +36,13 @@ func (n *Network) Connections() []ConnectionInfo {
 
 func (n *Network) connInfo(c timetable.Connection) ConnectionInfo {
 	return ConnectionInfo{
-		Train: n.tt.Trains[c.Train].Name,
-		Route: int(n.tt.RouteOf(c.Train)),
-		From:  c.From,
-		To:    c.To,
-		Dep:   c.Dep,
-		Arr:   c.Arr,
+		Train:     n.tt.Trains[c.Train].Name,
+		Route:     int(n.tt.RouteOf(c.Train)),
+		From:      c.From,
+		To:        c.To,
+		Dep:       c.Dep,
+		Arr:       c.Arr,
+		Cancelled: c.Arr.IsInf(),
 	}
 }
 
@@ -76,6 +82,12 @@ func (n *Network) ApplyDelays(delta Ticks, filter func(ConnectionInfo) bool) (*N
 		if !affected[conns[i].Train] {
 			continue
 		}
+		if conns[i].Arr.IsInf() {
+			// Cancelled by a previous ApplyUpdates: cancellation is
+			// permanent for the snapshot lineage. Re-timing would push the
+			// Infinity arrival below the sentinel and resurrect the train.
+			continue
+		}
 		dep := conns[i].Dep + delta
 		dur := conns[i].Arr - conns[i].Dep
 		dep = n.tt.Period.Wrap(dep)
@@ -94,6 +106,191 @@ func (n *Network) ApplyDelays(delta Ticks, filter func(ConnectionInfo) bool) (*N
 		return nil, 0, fmt.Errorf("transit: delayed timetable invalid: %w", err)
 	}
 	return NewNetwork(tt), shifted, nil
+}
+
+// DelayOp is one operation of a dynamic-update batch: a train-level delay
+// or cancellation, selected by train name, route class and/or a departure
+// window. Selection is per train — every connection of a matched train is
+// shifted (or cancelled) together, keeping its schedule consistent, exactly
+// like ApplyDelays. All set filters must match (AND); an op with no filter
+// at all matches every train whose departures intersect the window.
+type DelayOp struct {
+	// Train selects trains by exact name; "" disables the name filter.
+	Train string
+	// Routes selects trains by route class index; empty disables the route
+	// filter (so the zero DelayOp matches every train, like the other
+	// selectors).
+	Routes []int
+	// WindowFrom and WindowTo restrict the selection to trains with at
+	// least one (non-cancelled) connection departing in [WindowFrom,
+	// WindowTo], both time points of the period. WindowTo = 0 means "no
+	// upper bound", so the zero window matches the whole period.
+	WindowFrom, WindowTo Ticks
+	// Delay shifts every connection of each selected train Delay ticks
+	// later; negative means earlier. Departure time points wrap around the
+	// period; durations are preserved.
+	Delay Ticks
+	// Cancel removes the selected trains from service instead of shifting
+	// them. Cancellation wins over Delay and is permanent for the lifetime
+	// of the snapshot lineage.
+	Cancel bool
+}
+
+// UpdateStats reports the work of one ApplyUpdates call.
+type UpdateStats struct {
+	TrainsDelayed   int
+	TrainsCancelled int
+	ConnsRetimed    int
+	ConnsCancelled  int
+	Elapsed         time.Duration
+}
+
+// ApplyUpdates is the incremental counterpart of ApplyDelays: it returns a
+// new Network with the delay/cancellation batch applied, sharing every
+// untouched structure with the receiver — the route partition, the
+// time-dependent graph's node set and CSR skeleton, the station graph, and
+// the per-station connection indexes of unaffected stations. An update
+// touching k connections costs O(k log k) recompute plus flat copies of the
+// connection and edge arrays, instead of the full rebuild + re-validation
+// ApplyDelays pays; see BenchmarkApplyDelays for the gap.
+//
+// The receiver is never modified, so in-flight queries on it stay valid —
+// this is the snapshot discipline internal/live builds on. The returned
+// Network carries no distance table: preprocessing computed against the old
+// times is invalid, so callers either re-preprocess (live.Registry does
+// this asynchronously) or serve with the stopping criterion alone. A batch
+// matching no train returns the receiver itself, unchanged.
+func (n *Network) ApplyUpdates(ops []DelayOp) (*Network, *UpdateStats, error) {
+	start := time.Now()
+	tt := n.tt
+	type action struct {
+		delta  Ticks
+		cancel bool
+	}
+	acts := make(map[timetable.TrainID]*action)
+	collect := func(z timetable.TrainID, op DelayOp) {
+		if !trainInWindow(tt, z, op.WindowFrom, op.WindowTo) {
+			return
+		}
+		a := acts[z]
+		if a == nil {
+			a = &action{}
+			acts[z] = a
+		}
+		if op.Cancel {
+			a.cancel = true
+		} else {
+			a.delta += op.Delay
+		}
+	}
+	for _, op := range ops {
+		for _, q := range op.Routes {
+			if q < 0 || q >= len(tt.Routes()) {
+				return nil, nil, fmt.Errorf("transit: delay op references route %d, have %d routes", q, len(tt.Routes()))
+			}
+		}
+		if op.WindowTo != 0 && op.WindowTo < op.WindowFrom {
+			return nil, nil, fmt.Errorf("transit: delay op window [%d,%d] is empty", op.WindowFrom, op.WindowTo)
+		}
+		routeMatch := func(z timetable.TrainID) bool {
+			if len(op.Routes) == 0 {
+				return true
+			}
+			r := tt.RouteOf(z)
+			for _, q := range op.Routes {
+				if timetable.RouteID(q) == r {
+					return true
+				}
+			}
+			return false
+		}
+		switch {
+		case op.Train != "":
+			for _, z := range tt.TrainsByName(op.Train) {
+				if routeMatch(z) {
+					collect(z, op)
+				}
+			}
+		case len(op.Routes) > 0:
+			seen := make(map[int]bool, len(op.Routes))
+			for _, q := range op.Routes {
+				if seen[q] {
+					continue // duplicate route entries must not double-apply
+				}
+				seen[q] = true
+				for _, z := range tt.Routes()[q].Trains {
+					collect(z, op)
+				}
+			}
+		default:
+			for z := range tt.Trains {
+				collect(timetable.TrainID(z), op)
+			}
+		}
+	}
+	st := &UpdateStats{}
+	var updates []timetable.ConnUpdate
+	var touched []timetable.ConnID
+	for z, a := range acts {
+		switch {
+		case a.cancel:
+			st.TrainsCancelled++
+		case a.delta != 0:
+			st.TrainsDelayed++
+		default:
+			continue // net-zero delay: nothing to do
+		}
+		for _, id := range tt.TrainConnections(z) {
+			if tt.Cancelled(id) {
+				continue
+			}
+			c := tt.Connections[id]
+			if a.cancel {
+				updates = append(updates, timetable.ConnUpdate{ID: id, Cancel: true})
+				st.ConnsCancelled++
+			} else {
+				dep := tt.Period.Wrap(c.Dep + a.delta)
+				updates = append(updates, timetable.ConnUpdate{ID: id, Dep: dep, Arr: dep + c.Duration()})
+				st.ConnsRetimed++
+			}
+			touched = append(touched, id)
+		}
+	}
+	if len(updates) == 0 {
+		st.Elapsed = time.Since(start)
+		return n, st, nil
+	}
+	ntt, err := tt.Patch(updates)
+	if err != nil {
+		return nil, nil, fmt.Errorf("transit: incremental update: %w", err)
+	}
+	ng, err := n.g.PatchTimes(ntt, touched)
+	if err != nil {
+		return nil, nil, fmt.Errorf("transit: incremental update: %w", err)
+	}
+	// The station graph condenses connectivity, which delays never change
+	// and cancellations only shrink — a (possibly stale) superset keeps the
+	// via-station computation conservative, hence correct — so it is shared.
+	// The distance table is NOT shared: its entries are travel times, which
+	// the update changed.
+	n2 := &Network{tt: ntt, g: ng, sg: n.sg, byName: n.byName}
+	st.Elapsed = time.Since(start)
+	return n2, st, nil
+}
+
+// trainInWindow reports whether train z has a non-cancelled connection
+// departing in [from, to]; to = 0 means no upper bound.
+func trainInWindow(tt *timetable.Timetable, z timetable.TrainID, from, to Ticks) bool {
+	for _, id := range tt.TrainConnections(z) {
+		if tt.Cancelled(id) {
+			continue
+		}
+		d := tt.Connections[id].Dep
+		if d >= from && (to == 0 || d <= to) {
+			return true
+		}
+	}
+	return false
 }
 
 // TimetableBuilder assembles a custom network programmatically through the

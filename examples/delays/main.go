@@ -1,11 +1,14 @@
 // Delays: the fully dynamic scenario the paper's conclusion points at
 // (Müller-Hannemann et al. [20]). Because the one-to-all profile search
 // needs *no preprocessing*, a delayed train simply means: apply the delay,
-// rebuild the cheap query structures, query again — fast enough for
+// refresh the cheap query structures, query again — fast enough for
 // on-line use after every delay message.
 //
-// The example delays all morning trips of one route by 20 minutes and
-// diffs the resulting arrivals against the original timetable.
+// The example delays all morning trips of one route by 20 minutes through
+// both update paths — ApplyDelays (full rebuild + re-validation) and
+// ApplyUpdates (the incremental copy-on-write patch behind the live-update
+// subsystem, internal/live) — verifies they agree, compares their cost,
+// and then cancels the route outright.
 //
 //	go run ./examples/delays
 package main
@@ -34,35 +37,68 @@ func main() {
 	}
 
 	// Pick the route with the most morning departures out of src and
-	// delay its 07:00–10:00 trips by 20 minutes.
+	// delay its 07:00–10:00 trips by 20 minutes — first the seed way
+	// (rebuild everything), then the live-update way (patch in place).
 	route := busiestMorningRoute(net, src)
 	start := time.Now()
-	updated, shifted, err := net.ApplyDelays(20, func(c transit.ConnectionInfo) bool {
+	rebuilt, shifted, err := net.ApplyDelays(20, func(c transit.ConnectionInfo) bool {
 		return c.Route == route && c.Dep >= 420 && c.Dep <= 600
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	rebuild := time.Since(start)
+	fullRebuild := time.Since(start)
 
-	after, stats, err := updated.Profile(src, dst, transit.Options{Threads: 4})
+	ops := []transit.DelayOp{{Routes: []int{route}, WindowFrom: 420, WindowTo: 600, Delay: 20}}
+	start = time.Now()
+	patched, st, err := net.ApplyUpdates(ops)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ndelayed %d connections; applied + rebuilt in %v, re-query in %v\n",
-		shifted, rebuild, stats.Elapsed)
+	incremental := time.Since(start)
 
+	after, stats, err := patched.Profile(src, dst, transit.Options{Threads: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndelayed %d connections (%d trains)\n", st.ConnsRetimed, st.TrainsDelayed)
+	fmt.Printf("  full rebuild (ApplyDelays):    %v  (%d conns shifted)\n", fullRebuild, shifted)
+	fmt.Printf("  incremental (ApplyUpdates):    %v  (%.0fx faster)\n",
+		incremental, float64(fullRebuild)/float64(incremental))
+	fmt.Printf("  re-query on patched snapshot:  %v\n", stats.Elapsed)
+
+	ref, _, err := rebuilt.Profile(src, dst, transit.Options{Threads: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\n%-12s %-16s %-16s\n", "depart", "arrive (before)", "arrive (after)")
 	for _, at := range []string{"07:00", "07:45", "08:30", "09:15", "12:00"} {
 		dep, _ := transit.ParseClock(at)
 		b := before.EarliestArrival(dep)
 		a := after.EarliestArrival(dep)
+		if ra := ref.EarliestArrival(dep); ra != a {
+			log.Fatalf("paths disagree at %s: rebuild %d, incremental %d", at, ra, a)
+		}
 		mark := ""
 		if a != b {
 			mark = fmt.Sprintf("  ← %+d min", a-b)
 		}
 		fmt.Printf("%-12s %-16s %-16s%s\n", at, net.FormatClock(b), net.FormatClock(a), mark)
 	}
+
+	// Cancellations ride the same patch path: drop the route entirely and
+	// watch the profile fall back to alternatives.
+	cancelled, cst, err := patched.ApplyUpdates([]transit.DelayOp{{Routes: []int{route}, Cancel: true}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pc, _, err := cancelled.Profile(src, dst, transit.Options{Threads: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, _ := transit.ParseClock("08:30")
+	fmt.Printf("\ncancelled the route outright (%d connections): 08:30 arrival %s → %s\n",
+		cst.ConnsCancelled, net.FormatClock(after.EarliestArrival(dep)), net.FormatClock(pc.EarliestArrival(dep)))
 }
 
 // busiestMorningRoute returns the route class with the most 07:00–10:00

@@ -20,6 +20,7 @@ import (
 	"transit/internal/stationgraph"
 	"transit/internal/stats"
 	"transit/internal/timetable"
+	"transit/internal/timeutil"
 )
 
 // Network bundles everything the experiments need about one input.
@@ -203,16 +204,71 @@ type T2Row struct {
 	// the queries run on a reused workspace — the figure the workspace
 	// subsystem exists to drive to zero.
 	AllocsPerQuery float64
+	// UpdatesPerSec is the dynamic-update throughput of the incremental
+	// patch path (Timetable.Patch + Graph.PatchTimes) for a ~100-connection
+	// delay batch — the fully dynamic scenario of the paper's conclusion.
+	// Selection-independent (updates drop the distance table), so the value
+	// repeats on every row of a family.
+	UpdatesPerSec float64
+}
+
+// updateBatchConns is the delay-batch size MeasureUpdates targets in
+// Table 2, matching the acceptance workload of BenchmarkApplyDelays.
+const updateBatchConns = 100
+
+// delayBatch builds a ConnUpdate batch of at least want connections (whole
+// trains in ID order, so per-train schedules stay consistent), each shifted
+// delta ticks.
+func delayBatch(tt *timetable.Timetable, want int, delta timeutil.Ticks) ([]timetable.ConnUpdate, []timetable.ConnID) {
+	var updates []timetable.ConnUpdate
+	var touched []timetable.ConnID
+	for z := 0; z < tt.NumTrains() && len(updates) < want; z++ {
+		for _, id := range tt.TrainConnections(timetable.TrainID(z)) {
+			c := tt.Connections[id]
+			dep := tt.Period.Wrap(c.Dep + delta)
+			updates = append(updates, timetable.ConnUpdate{ID: id, Dep: dep, Arr: dep + c.Duration()})
+			touched = append(touched, id)
+		}
+	}
+	return updates, touched
+}
+
+// MeasureUpdates times the incremental patch path applying a delay batch of
+// roughly batchConns connections against the network, returning achieved
+// updates (snapshot swaps) per second. Each repetition patches the original
+// timetable, mirroring a registry that applies independent delay feeds.
+func MeasureUpdates(net *Network, batchConns int) (float64, error) {
+	updates, touched := delayBatch(net.TT, batchConns, 7)
+	if len(updates) == 0 {
+		return 0, nil
+	}
+	reps := 0
+	start := time.Now()
+	for time.Since(start) < 50*time.Millisecond || reps < 3 {
+		ntt, err := net.TT.Patch(updates)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := net.G.PatchTimes(ntt, touched); err != nil {
+			return 0, err
+		}
+		reps++
+	}
+	return float64(reps) / time.Since(start).Seconds(), nil
 }
 
 // Table2 runs the station-to-station experiment over the given selections.
 func Table2(net *Network, sels []Selection, numQueries, threads int, seed int64) ([]T2Row, error) {
 	pairs := randomPairs(net, numQueries, seed)
+	updPerSec, err := MeasureUpdates(net, updateBatchConns)
+	if err != nil {
+		return nil, err
+	}
 	var rows []T2Row
 	var base *T2Row
 	for _, sel := range sels {
 		env := core.QueryEnv{Graph: net.G}
-		row := T2Row{Family: net.Family, Selection: sel.Label}
+		row := T2Row{Family: net.Family, Selection: sel.Label, UpdatesPerSec: updPerSec}
 		if sel.Fraction > 0 || sel.MinDegree > 0 {
 			var marked []bool
 			if sel.MinDegree > 0 {
@@ -291,14 +347,14 @@ func PrintTable1(w io.Writer, rows []T1Row) {
 
 // PrintTable2 renders Table 2 rows in the paper's layout.
 func PrintTable2(w io.Writer, rows []T2Row) {
-	fmt.Fprintf(w, "%-12s %-8s %6s %10s %9s %14s %10s %6s %8s %10s\n",
-		"network", "sel", "|T|", "prepro", "size MiB", "settled conns", "time [ms]", "spd", "t-spd", "allocs/q")
+	fmt.Fprintf(w, "%-12s %-8s %6s %10s %9s %14s %10s %6s %8s %10s %8s\n",
+		"network", "sel", "|T|", "prepro", "size MiB", "settled conns", "time [ms]", "spd", "t-spd", "allocs/q", "upd/s")
 	for _, r := range rows {
 		prepro := "—"
 		if r.PreproTime > 0 {
 			prepro = r.PreproTime.Round(10 * time.Millisecond).String()
 		}
-		fmt.Fprintf(w, "%-12s %-8s %6d %10s %9.1f %14.0f %10.1f %6.1f %8.1f %10.1f\n",
-			r.Family, r.Selection, r.Transfer, prepro, r.TableMiB, r.MeanSettled, r.MeanTimeMS, r.SpeedUp, r.TimeSpeedUp, r.AllocsPerQuery)
+		fmt.Fprintf(w, "%-12s %-8s %6d %10s %9.1f %14.0f %10.1f %6.1f %8.1f %10.1f %8.0f\n",
+			r.Family, r.Selection, r.Transfer, prepro, r.TableMiB, r.MeanSettled, r.MeanTimeMS, r.SpeedUp, r.TimeSpeedUp, r.AllocsPerQuery, r.UpdatesPerSec)
 	}
 }

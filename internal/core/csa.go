@@ -73,7 +73,13 @@ func NewConnectionScan(tt *timetable.Timetable) *CSASchedule {
 			depAbs = prev + tt.Period.Delta(prev, conn.Dep)
 		}
 		c.tripTime[conn.ID] = depAbs
-		lastAbs[conn.Train] = depAbs + conn.Duration()
+		dur := conn.Duration()
+		if conn.Arr.IsInf() {
+			// Cancelled connection (timetable.Patch): keep the trip's local
+			// timeline finite so later hops of the train do not overflow.
+			dur = 0
+		}
+		lastAbs[conn.Train] = depAbs + dur
 	}
 	c.order = make([]timetable.ConnID, len(tt.Connections))
 	for i := range c.order {
@@ -188,6 +194,9 @@ func (c *CSASchedule) QueryWS(ws *Workspace, source timetable.StationID, dep tim
 		id := c.order[idx[best]]
 		idx[best]++
 		conn := tt.Connections[id]
+		if conn.Arr.IsInf() {
+			continue // cancelled: never boardable
+		}
 		depAbs := bestT
 		if depAbs < dep {
 			continue

@@ -234,9 +234,10 @@ func (ws *Workspace) StationToStation(env QueryEnv, source, target timetable.Sta
 		}
 		// Determine via(T) on the fly; the DFS also classifies the query.
 		// The transfer marks are cached on the workspace keyed by table
-		// identity, so steady-state traffic against one table rebuilds
-		// nothing.
-		vias = env.StationGraph.ComputeVias(target, ws.transferMarks(env.Table, ns))
+		// identity and the DFS runs on the workspace's reusable Vias
+		// scratch, so steady-state traffic against one table allocates
+		// nothing here.
+		vias = env.StationGraph.ComputeViasInto(&ws.vias, target, ws.transferMarks(env.Table, ns))
 		res.Local = vias.IsLocalSource(source)
 	}
 

@@ -6,6 +6,7 @@ import (
 	"transit/internal/dtable"
 	"transit/internal/graph"
 	"transit/internal/pq"
+	"transit/internal/stationgraph"
 	"transit/internal/stats"
 	"transit/internal/timetable"
 	"transit/internal/timeutil"
@@ -58,9 +59,12 @@ type Workspace struct {
 	walkQueue []timetable.StationID
 
 	// Distance-table pruning scratch: isTransfer is rebuilt only when the
-	// query runs against a different table than the previous one.
+	// query runs against a different table than the previous one. vias is
+	// the reusable via-station DFS state (marks + result slices), so the
+	// distance-table query path computes via(T) without allocating.
 	isTransfer []bool
 	lastTable  *dtable.Table
+	vias       stationgraph.Vias
 
 	// Partition boundary buffer.
 	bounds []int

@@ -7,6 +7,7 @@ import (
 
 	"transit/internal/gen"
 	"transit/internal/graph"
+	"transit/internal/stationgraph"
 	"transit/internal/timetable"
 	"transit/internal/timeutil"
 )
@@ -165,6 +166,53 @@ func TestStationQuerySteadyStateAllocs(t *testing.T) {
 	})
 	if allocs > 2 {
 		t.Fatalf("steady-state time query allocates %.1f objects/op, want ≤ 2", allocs)
+	}
+}
+
+// TestStationQueryTablePathAllocs pins the distance-table query path to
+// the same steady-state budget: the via-station DFS (ComputeViasInto runs
+// on the workspace's reusable marks), the transfer-mark cache and the
+// µ/γ pruning arrays must all reuse workspace memory.
+func TestStationQueryTablePathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	g := workspaceNet(t)
+	sg := stationgraph.Build(g.TT)
+	marked := sg.SelectByDegree(2)
+	pre, err := BuildDistanceTable(g, marked, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := QueryEnv{Graph: g, StationGraph: sg, Table: pre.Table}
+	ws := NewWorkspace()
+	ns := g.TT.NumStations()
+	pair := func(i int) (timetable.StationID, timetable.StationID) {
+		src := timetable.StationID((i * 31) % ns)
+		dst := timetable.StationID((i*17 + 5) % ns)
+		if src == dst {
+			dst = timetable.StationID((int(dst) + 1) % ns)
+		}
+		return src, dst
+	}
+	for i := 0; i < 8; i++ {
+		src, dst := pair(i)
+		if _, err := ws.StationToStation(env, src, dst, QueryOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(64, func() {
+		src, dst := pair(i)
+		i++
+		if _, err := ws.StationToStation(env, src, dst, QueryOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Before ComputeVias moved onto the workspace this path allocated a
+	// fresh Vias (two maps, stack, result slices) per query.
+	if allocs > 2 {
+		t.Fatalf("table-path station query allocates %.1f objects/op, want ≤ 2", allocs)
 	}
 }
 

@@ -93,6 +93,12 @@ type Graph struct {
 	connDepNode []NodeID              // departing route node per connection
 	connArrNode []NodeID              // arriving route node per connection
 
+	// Incremental-update indexes (PatchTimes): the ride edge every
+	// connection lives on, and per edge the full (pre-reduction) member
+	// list needed to recompute the edge's departures after a retime.
+	connRideEdge []int32              // per connection: index into edges (-1 for cancelled-at-build)
+	rideAllConns [][]timetable.ConnID // per edge index: member connections of a Ride edge (nil otherwise)
+
 	numStations int
 }
 
@@ -130,18 +136,30 @@ func Build(tt *timetable.Timetable) *Graph {
 		hop   int32
 	}
 	hopConns := make(map[hopKey][]RideConn)
+	hopIDs := make(map[hopKey][]timetable.ConnID)
 	hopIndex := make(map[timetable.TrainID]int32, tt.NumTrains())
 	g.connDepNode = make([]NodeID, tt.NumConnections())
 	g.connArrNode = make([]NodeID, tt.NumConnections())
+	g.connRideEdge = make([]int32, tt.NumConnections())
+	for i := range g.connRideEdge {
+		g.connRideEdge[i] = -1
+	}
 	for _, c := range tt.Connections {
 		r := tt.RouteOf(c.Train)
 		h := hopIndex[c.Train]
 		hopIndex[c.Train] = h + 1
+		g.connDepNode[c.ID] = g.routeOffset[r] + NodeID(h)
+		g.connArrNode[c.ID] = g.routeOffset[r] + NodeID(h) + 1
+		if c.Arr.IsInf() {
+			// Cancelled connection: keeps its hop slot (so later hops stay
+			// aligned with the route's station sequence) but never appears
+			// on a ride edge.
+			continue
+		}
 		hopConns[hopKey{r, h}] = append(hopConns[hopKey{r, h}], RideConn{
 			Dep: c.Dep, Dur: c.Duration(), Conn: c.ID,
 		})
-		g.connDepNode[c.ID] = g.routeOffset[r] + NodeID(h)
-		g.connArrNode[c.ID] = g.routeOffset[r] + NodeID(h) + 1
+		hopIDs[hopKey{r, h}] = append(hopIDs[hopKey{r, h}], c.ID)
 	}
 
 	// Emit CSR. Station node s: one Board edge per route node at s.
@@ -173,10 +191,20 @@ func Build(tt *timetable.Timetable) *Graph {
 		s := routes[ri].Stations[pos]
 		g.edges = append(g.edges, Edge{Head: NodeID(s), Kind: Alight, W: 0})
 		if int(pos) < len(routes[ri].Stations)-1 {
-			conns := hopConns[hopKey{timetable.RouteID(ri), pos}]
+			hk := hopKey{timetable.RouteID(ri), pos}
+			conns := hopConns[hk]
 			conns = reduceRideConns(tt.Period, conns)
 			first := int32(len(g.rideConns))
 			g.rideConns = append(g.rideConns, conns...)
+			eIdx := int32(len(g.edges))
+			ids := hopIDs[hk]
+			for _, id := range ids {
+				g.connRideEdge[id] = eIdx
+			}
+			for int32(len(g.rideAllConns)) < eIdx {
+				g.rideAllConns = append(g.rideAllConns, nil)
+			}
+			g.rideAllConns = append(g.rideAllConns, ids)
 			g.edges = append(g.edges, Edge{
 				Head:  n + 1,
 				Kind:  Ride,
@@ -186,6 +214,9 @@ func Build(tt *timetable.Timetable) *Graph {
 		}
 	}
 	g.firstOut[numNodes] = int32(len(g.edges))
+	for len(g.rideAllConns) < len(g.edges) {
+		g.rideAllConns = append(g.rideAllConns, nil)
+	}
 	return g
 }
 

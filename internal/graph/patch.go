@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"fmt"
+
+	"transit/internal/timetable"
+)
+
+// PatchTimes returns a new Graph reflecting a timetable produced by
+// Timetable.Patch on this graph's timetable, without rebuilding the model:
+// a delay or cancellation never changes a route's station sequence, so the
+// node set, the CSR offsets, the board/alight/walk edges and every
+// connection↔node mapping are shared with the receiver. Only the ride
+// edges that carry a touched connection recompute their (sorted,
+// dominance-free) departure lists; every other ride edge's departures are
+// copied verbatim into the new graph's compacted connection store.
+//
+// tt must derive from the receiver's timetable via Patch (same stations,
+// trains, routes and dense connection IDs); touched lists the connection
+// IDs the patch retimed or cancelled.
+func (g *Graph) PatchTimes(tt *timetable.Timetable, touched []timetable.ConnID) (*Graph, error) {
+	if tt.NumStations() != g.numStations || tt.NumConnections() != len(g.connRideEdge) {
+		return nil, fmt.Errorf("graph: patch timetable shape mismatch (%d stations/%d conns, graph has %d/%d)",
+			tt.NumStations(), tt.NumConnections(), g.numStations, len(g.connRideEdge))
+	}
+	touchedEdge := make(map[int32]bool, len(touched))
+	for _, id := range touched {
+		if int(id) < 0 || int(id) >= len(g.connRideEdge) {
+			return nil, fmt.Errorf("graph: patch touches unknown connection %d", id)
+		}
+		if e := g.connRideEdge[id]; e >= 0 {
+			touchedEdge[e] = true
+		}
+	}
+	ng := *g // shares firstOut, nodeStation, routeOffset, connDepNode, connArrNode, connRideEdge, rideAllConns
+	ng.TT = tt
+	ng.edges = append([]Edge(nil), g.edges...)
+	ng.rideConns = make([]RideConn, 0, len(g.rideConns))
+	var scratch []RideConn
+	for e := range ng.edges {
+		if ng.edges[e].Kind != Ride {
+			continue
+		}
+		first := int32(len(ng.rideConns))
+		if touchedEdge[int32(e)] {
+			scratch = scratch[:0]
+			for _, id := range g.rideAllConns[e] {
+				c := &tt.Connections[id]
+				if c.Arr.IsInf() {
+					continue // cancelled
+				}
+				scratch = append(scratch, RideConn{Dep: c.Dep, Dur: c.Arr - c.Dep, Conn: id})
+			}
+			// reduceRideConns reorders scratch in place; the append below
+			// copies the survivors out before the next reuse.
+			ng.rideConns = append(ng.rideConns, reduceRideConns(tt.Period, scratch)...)
+		} else {
+			old := ng.edges[e]
+			ng.rideConns = append(ng.rideConns, g.rideConns[old.First:old.First+old.Num]...)
+		}
+		ng.edges[e].First = first
+		ng.edges[e].Num = int32(len(ng.rideConns)) - first
+	}
+	return &ng, nil
+}

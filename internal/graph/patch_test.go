@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"testing"
+
+	"transit/internal/timetable"
+	"transit/internal/timeutil"
+)
+
+// patchNetwork builds a line network with two routes and several trains per
+// route, so ride edges carry multiple departures.
+func patchNetwork(t *testing.T) *timetable.Timetable {
+	t.Helper()
+	b := timetable.NewBuilder(timeutil.NewPeriod(1440))
+	a := b.AddStation("A", 2)
+	bb := b.AddStation("B", 3)
+	c := b.AddStation("C", 2)
+	d := b.AddStation("D", 1)
+	for h := timeutil.Ticks(6); h <= 10; h++ {
+		b.AddTrainRun("r1", []timetable.StationID{a, bb, c}, h*60, []timeutil.Ticks{10, 15}, 1)
+	}
+	for h := timeutil.Ticks(7); h <= 9; h++ {
+		b.AddTrainRun("r2", []timetable.StationID{bb, c, d}, h*60+20, []timeutil.Ticks{12, 8}, 1)
+	}
+	tt, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tt
+}
+
+// assertGraphsEquivalent compares the ride-edge contents and evaluation
+// behavior of two graphs over the same timetable shape.
+func assertGraphsEquivalent(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("shape: got %d nodes/%d edges, want %d/%d",
+			got.NumNodes(), got.NumEdges(), want.NumNodes(), want.NumEdges())
+	}
+	for n := NodeID(0); int(n) < got.NumNodes(); n++ {
+		ge, we := got.OutEdges(n), want.OutEdges(n)
+		if len(ge) != len(we) {
+			t.Fatalf("node %d: %d edges, want %d", n, len(ge), len(we))
+		}
+		for i := range ge {
+			if ge[i].Head != we[i].Head || ge[i].Kind != we[i].Kind || ge[i].W != we[i].W {
+				t.Fatalf("node %d edge %d: %+v vs %+v", n, i, ge[i], we[i])
+			}
+			if ge[i].Kind != Ride {
+				continue
+			}
+			gc, wc := got.RideConns(&ge[i]), want.RideConns(&we[i])
+			if len(gc) != len(wc) {
+				t.Fatalf("node %d ride edge %d: %d conns, want %d (%v vs %v)", n, i, len(gc), len(wc), gc, wc)
+			}
+			for j := range gc {
+				if gc[j] != wc[j] {
+					t.Fatalf("node %d ride edge %d conn %d: %+v vs %+v", n, i, j, gc[j], wc[j])
+				}
+			}
+			for at := timeutil.Ticks(0); at < 1600; at += 37 {
+				ga, gid := got.EvalRide(&ge[i], at)
+				wa, wid := want.EvalRide(&we[i], at)
+				if ga != wa || gid != wid {
+					t.Fatalf("EvalRide(node %d, edge %d, %d): (%d,%d) vs (%d,%d)", n, i, at, ga, gid, wa, wid)
+				}
+			}
+		}
+	}
+}
+
+func TestPatchTimesMatchesRebuild(t *testing.T) {
+	tt := patchNetwork(t)
+	g := Build(tt)
+	// Delay the 08:00 r1 train (train 2, conns 4-5) by 45 so its hops
+	// reorder against neighbours, and cancel the 08:20 r2 train (train 6,
+	// conns 12-13).
+	updates := []timetable.ConnUpdate{
+		{ID: 4, Dep: tt.Connections[4].Dep + 45, Arr: tt.Connections[4].Arr + 45},
+		{ID: 5, Dep: tt.Connections[5].Dep + 45, Arr: tt.Connections[5].Arr + 45},
+		{ID: 12, Cancel: true},
+		{ID: 13, Cancel: true},
+	}
+	ntt, err := tt.Patch(updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := g.PatchTimes(ntt, []timetable.ConnID{4, 5, 12, 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEquivalent(t, pg, Build(ntt))
+	// The patch shares the structural arrays with the original.
+	if &pg.firstOut[0] != &g.firstOut[0] || &pg.nodeStation[0] != &g.nodeStation[0] {
+		t.Error("structural arrays not shared")
+	}
+	// The original graph still answers with the old times.
+	old := Build(patchNetwork(t))
+	assertGraphsEquivalent(t, g, old)
+}
+
+func TestPatchTimesChained(t *testing.T) {
+	tt := patchNetwork(t)
+	g := Build(tt)
+	// Two successive patches (delay, then cancel the same train) must equal
+	// a fresh build of the final timetable.
+	tt1, err := tt.Patch([]timetable.ConnUpdate{
+		{ID: 0, Dep: tt.Connections[0].Dep + 10, Arr: tt.Connections[0].Arr + 10},
+		{ID: 1, Dep: tt.Connections[1].Dep + 10, Arr: tt.Connections[1].Arr + 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := g.PatchTimes(tt1, []timetable.ConnID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt2, err := tt1.Patch([]timetable.ConnUpdate{{ID: 0, Cancel: true}, {ID: 1, Cancel: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := g1.PatchTimes(tt2, []timetable.ConnID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEquivalent(t, g2, Build(tt2))
+}
+
+func TestPatchTimesShapeMismatch(t *testing.T) {
+	tt := patchNetwork(t)
+	g := Build(tt)
+	other := Build(patchNetwork(t)) // same shape, different object — fine
+	if _, err := g.PatchTimes(other.TT, nil); err != nil {
+		t.Fatalf("same-shape timetable rejected: %v", err)
+	}
+	b := timetable.NewBuilder(timeutil.NewPeriod(1440))
+	b.AddStation("X", 1)
+	small, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.PatchTimes(small, nil); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if _, err := g.PatchTimes(tt, []timetable.ConnID{999}); err == nil {
+		t.Fatal("unknown touched connection accepted")
+	}
+}

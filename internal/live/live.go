@@ -1,0 +1,243 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"transit"
+)
+
+// ErrClosed is returned by Apply after Close: the registry no longer
+// accepts updates (the serving process is draining). Feed clients should
+// retry against the replacement instance.
+var ErrClosed = errors.New("live: registry closed")
+
+// ErrReprocess wraps distance-table rebuild failures surfaced by Apply
+// under ReprocessSync — a server-side condition, not a malformed batch.
+var ErrReprocess = errors.New("live: re-preprocess failed")
+
+// Policy selects what happens to distance-table preprocessing after an
+// update invalidates it. See the package documentation for the trade-offs.
+type Policy int
+
+const (
+	// ServeUnpruned drops preprocessing on update and keeps serving with
+	// the stopping criterion alone.
+	ServeUnpruned Policy = iota
+	// ReprocessAsync swaps the patched snapshot in immediately and rebuilds
+	// the distance table in the background; a preprocessed network replaces
+	// the snapshot (same epoch) when ready.
+	ReprocessAsync
+	// ReprocessSync rebuilds the distance table before the swap: Apply
+	// blocks for the preprocessing time, served snapshots are always pruned.
+	ReprocessSync
+)
+
+func (p Policy) String() string {
+	switch p {
+	case ServeUnpruned:
+		return "off"
+	case ReprocessAsync:
+		return "async"
+	case ReprocessSync:
+		return "sync"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses the flag spellings "off", "async", "sync".
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "off":
+		return ServeUnpruned, nil
+	case "async":
+		return ReprocessAsync, nil
+	case "sync":
+		return ReprocessSync, nil
+	default:
+		return 0, fmt.Errorf("live: unknown re-preprocess policy %q (want off, async or sync)", s)
+	}
+}
+
+// Config tunes a Registry.
+type Config struct {
+	// Policy selects the preprocessing-invalidation strategy.
+	Policy Policy
+	// Selection is the transfer-station selection used when Policy rebuilds
+	// distance tables (required for ReprocessAsync/ReprocessSync).
+	Selection transit.TransferSelection
+	// Options tunes the preprocessing runs (thread count).
+	Options transit.Options
+	// Logf, when set, receives re-preprocessing progress and failures.
+	Logf func(format string, args ...any)
+}
+
+// Snapshot is one immutable, query-ready version of the network. Epoch 0 is
+// the initially loaded network; every applied update bumps the epoch.
+type Snapshot struct {
+	Net     *transit.Network
+	Epoch   uint64
+	Created time.Time
+}
+
+// Preprocessed reports whether this snapshot carries a distance table.
+func (s *Snapshot) Preprocessed() bool { return s.Net.Preprocessed() }
+
+// Registry holds the current snapshot behind an atomic pointer and applies
+// delay batches without ever blocking readers. See the package
+// documentation for the consistency model.
+type Registry struct {
+	cfg Config
+	cur atomic.Pointer[Snapshot]
+
+	mu         sync.Mutex // serializes Apply and the async re-preprocess swap
+	wg         sync.WaitGroup
+	closed     bool
+	rebuilding bool // an async re-preprocess goroutine is alive (under mu)
+
+	updates          atomic.Uint64
+	connsRetimed     atomic.Uint64
+	connsCancelled   atomic.Uint64
+	lastUpdateMicros atomic.Int64
+	reprocessed      atomic.Uint64
+	reprocessErrors  atomic.Uint64
+}
+
+// NewRegistry wraps an already-loaded (and possibly preprocessed) network
+// as the epoch-0 snapshot.
+func NewRegistry(net *transit.Network, cfg Config) *Registry {
+	r := &Registry{cfg: cfg}
+	r.cur.Store(&Snapshot{Net: net, Created: time.Now()})
+	return r
+}
+
+// Snapshot returns the current snapshot: a single atomic load, wait-free,
+// safe from any goroutine. Callers must load once per request and use that
+// snapshot's network throughout, so the request sees one consistent view.
+func (r *Registry) Snapshot() *Snapshot { return r.cur.Load() }
+
+// Apply patches the current snapshot with a delay batch and swaps the
+// successor in. Writers are serialized; readers are never blocked. A batch
+// matching no train leaves the current snapshot (and its epoch) in place.
+func (r *Registry) Apply(ops []transit.DelayOp) (*Snapshot, *transit.UpdateStats, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, nil, ErrClosed
+	}
+	start := time.Now()
+	cur := r.cur.Load()
+	next, st, err := cur.Net.ApplyUpdates(ops)
+	if err != nil {
+		return nil, nil, err
+	}
+	if next == cur.Net {
+		return cur, st, nil // no-op batch: nothing changed, epoch stays
+	}
+	if r.cfg.Policy == ReprocessSync {
+		pre, ps, err := next.Preprocess(r.cfg.Selection, r.cfg.Options)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrReprocess, err)
+		}
+		r.reprocessed.Add(1)
+		r.logf("live: epoch %d re-preprocessed synchronously (%d transfer stations in %v)",
+			cur.Epoch+1, ps.TransferStations, ps.Elapsed)
+		next = pre
+	}
+	snap := &Snapshot{Net: next, Epoch: cur.Epoch + 1, Created: time.Now()}
+	r.cur.Store(snap)
+	r.updates.Add(1)
+	r.connsRetimed.Add(uint64(st.ConnsRetimed))
+	r.connsCancelled.Add(uint64(st.ConnsCancelled))
+	r.lastUpdateMicros.Store(time.Since(start).Microseconds())
+	if r.cfg.Policy == ReprocessAsync && !r.rebuilding {
+		// At most one rebuild goroutine is alive; it rolls forward to the
+		// newest epoch by itself, so a delay feed faster than the
+		// preprocessing time coalesces instead of piling up rebuilds.
+		r.rebuilding = true
+		r.wg.Add(1)
+		go r.reprocess(snap)
+	}
+	return snap, st, nil
+}
+
+// reprocess rebuilds the distance table for snap in the background and, if
+// snap is still current, swaps in the preprocessed network under the same
+// epoch. When newer updates landed during the rebuild, the stale result is
+// discarded and the loop continues with the now-current snapshot, so
+// intermediate epochs are skipped rather than each spawning a rebuild.
+func (r *Registry) reprocess(snap *Snapshot) {
+	defer r.wg.Done()
+	for {
+		pre, ps, err := snap.Net.Preprocess(r.cfg.Selection, r.cfg.Options)
+		r.mu.Lock()
+		cur := r.cur.Load()
+		if err != nil {
+			r.reprocessErrors.Add(1)
+			r.logf("live: async re-preprocess of epoch %d failed: %v", snap.Epoch, err)
+		} else if cur.Epoch == snap.Epoch {
+			r.cur.Store(&Snapshot{Net: pre, Epoch: snap.Epoch, Created: snap.Created})
+			r.reprocessed.Add(1)
+			r.logf("live: epoch %d re-preprocessed (%d transfer stations in %v)",
+				snap.Epoch, ps.TransferStations, ps.Elapsed)
+			cur = r.cur.Load()
+		}
+		if r.closed || cur.Epoch == snap.Epoch {
+			// Done: either this rebuild landed (or failed) for the epoch
+			// still being served, or the registry is draining.
+			r.rebuilding = false
+			r.mu.Unlock()
+			return
+		}
+		// Superseded while rebuilding: roll forward to the current epoch.
+		snap = cur
+		r.mu.Unlock()
+	}
+}
+
+// Close stops accepting updates and waits for in-flight background
+// re-preprocessing to finish. Snapshots already handed out stay valid.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+func (r *Registry) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// Metrics is a point-in-time view of the registry counters, exposed by
+// tpserver's GET /metrics.
+type Metrics struct {
+	Epoch            uint64
+	Preprocessed     bool
+	UpdatesTotal     uint64
+	ConnsRetimed     uint64
+	ConnsCancelled   uint64
+	LastUpdate       time.Duration
+	ReprocessedTotal uint64
+	ReprocessErrors  uint64
+}
+
+// Metrics reads the counters (wait-free).
+func (r *Registry) Metrics() Metrics {
+	snap := r.Snapshot()
+	return Metrics{
+		Epoch:            snap.Epoch,
+		Preprocessed:     snap.Preprocessed(),
+		UpdatesTotal:     r.updates.Load(),
+		ConnsRetimed:     r.connsRetimed.Load(),
+		ConnsCancelled:   r.connsCancelled.Load(),
+		LastUpdate:       time.Duration(r.lastUpdateMicros.Load()) * time.Microsecond,
+		ReprocessedTotal: r.reprocessed.Load(),
+		ReprocessErrors:  r.reprocessErrors.Load(),
+	}
+}

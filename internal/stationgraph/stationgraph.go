@@ -13,6 +13,7 @@ package stationgraph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"transit/internal/timetable"
@@ -89,6 +90,9 @@ func (g *Graph) In(s timetable.StationID) []Arc { return g.in[s] }
 func (g *Graph) Degree(s timetable.StationID) int { return g.deg[s] }
 
 // Vias is the result of the via-station computation for a target station.
+// The zero value is ready for (re)use with ComputeViasInto: a Vias retains
+// its marks and slices across computations, so steady-state query traffic
+// (one Vias per core.Workspace) runs the DFS without allocating.
 type Vias struct {
 	// Target is the station the DFS started from.
 	Target timetable.StationID
@@ -98,48 +102,76 @@ type Vias struct {
 	// Local are the non-transfer stations L with a simple path from L to
 	// Target through non-transfer stations only (excluding Target itself).
 	Local []timetable.StationID
-	// seen marks Target and all Local stations for O(1) locality tests.
-	seen map[timetable.StationID]bool
+
+	// Generation-stamped marks (cf. core.Workspace): a slot is set for the
+	// current computation iff its stamp equals gen, so per-query reset is a
+	// counter increment instead of a map allocation.
+	gen     uint32
+	seen    []uint32 // Target ∪ Local marks for O(1) locality tests
+	viaMark []uint32 // dedup marks for Via collection
+	stack   []timetable.StationID
 }
 
 // IsLocalSource reports whether an S→Target query is local, i.e. S lies in
 // local(Target) ∪ {Target}. Global queries must cross a via station.
-func (v *Vias) IsLocalSource(s timetable.StationID) bool { return v.seen[s] }
+func (v *Vias) IsLocalSource(s timetable.StationID) bool {
+	return int(s) >= 0 && int(s) < len(v.seen) && v.seen[s] == v.gen
+}
 
 // ComputeVias runs the reverse DFS from target, pruned at transfer
 // stations, per Section 4 of the paper. isTransfer[s] marks S_trans. In the
 // special case target ∈ S_trans, local(T) = ∅ and via(T) = {T}.
 func (g *Graph) ComputeVias(target timetable.StationID, isTransfer []bool) *Vias {
-	v := &Vias{Target: target, seen: make(map[timetable.StationID]bool)}
-	v.seen[target] = true
+	return g.ComputeViasInto(new(Vias), target, isTransfer)
+}
+
+// ComputeViasInto is the scratch-reusing form of ComputeVias: the DFS runs
+// on v's retained marks and result slices and returns v. The previous
+// contents of v are invalidated. Steady-state callers (core.Workspace)
+// allocate nothing here beyond the first call's mark arrays.
+func (g *Graph) ComputeViasInto(v *Vias, target timetable.StationID, isTransfer []bool) *Vias {
+	if len(v.seen) < g.n {
+		v.seen = make([]uint32, g.n)
+		v.viaMark = make([]uint32, g.n)
+		v.gen = 0
+	}
+	v.gen++
+	if v.gen == 0 { // stamp wrap-around: wipe so stale marks cannot collide
+		clear(v.seen)
+		clear(v.viaMark)
+		v.gen = 1
+	}
+	v.Target = target
+	v.Via = v.Via[:0]
+	v.Local = v.Local[:0]
+	v.seen[target] = v.gen
 	if isTransfer[target] {
-		v.Via = []timetable.StationID{target}
+		v.Via = append(v.Via, target)
 		return v
 	}
-	viaSet := make(map[timetable.StationID]bool)
-	stack := []timetable.StationID{target}
+	stack := append(v.stack[:0], target)
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, a := range g.in[s] {
 			p := a.To
 			if isTransfer[p] {
-				viaSet[p] = true // touched, but pruned: do not descend
+				if v.viaMark[p] != v.gen {
+					v.viaMark[p] = v.gen // touched, but pruned: do not descend
+					v.Via = append(v.Via, p)
+				}
 				continue
 			}
-			if !v.seen[p] {
-				v.seen[p] = true
+			if v.seen[p] != v.gen {
+				v.seen[p] = v.gen
 				v.Local = append(v.Local, p)
 				stack = append(stack, p)
 			}
 		}
 	}
-	v.Via = make([]timetable.StationID, 0, len(viaSet))
-	for s := range viaSet {
-		v.Via = append(v.Via, s)
-	}
-	sort.Slice(v.Via, func(i, j int) bool { return v.Via[i] < v.Via[j] })
-	sort.Slice(v.Local, func(i, j int) bool { return v.Local[i] < v.Local[j] })
+	v.stack = stack
+	slices.Sort(v.Via)
+	slices.Sort(v.Local)
 	return v
 }
 

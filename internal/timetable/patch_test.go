@@ -1,0 +1,170 @@
+package timetable
+
+import (
+	"testing"
+
+	"transit/internal/timeutil"
+)
+
+// sliceShared reports whether two ConnID rows share their backing array.
+func sliceShared(a, b []ConnID) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+func TestPatchRetimeResortsAffectedRows(t *testing.T) {
+	tt := tinyNetwork(t)
+	// Delay train r1-t2 (ID 1, conns 2 and 3: A@540→B@550, B@551→C@566) by
+	// enough that its B departure moves before r2-t1's (500).
+	c2, c3 := tt.Connections[2], tt.Connections[3]
+	delta := timeutil.Ticks(-60)
+	nt, err := tt.Patch([]ConnUpdate{
+		{ID: 2, Dep: c2.Dep + delta, Arr: c2.Arr + delta},
+		{ID: 3, Dep: c3.Dep + delta, Arr: c3.Arr + delta},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Old snapshot untouched.
+	if tt.Connections[2].Dep != 540 {
+		t.Fatalf("receiver mutated: conn 2 dep %d", tt.Connections[2].Dep)
+	}
+	if nt.Connections[2].Dep != 480 || nt.Connections[3].Dep != 491 {
+		t.Fatalf("patched times wrong: %+v %+v", nt.Connections[2], nt.Connections[3])
+	}
+	// B's outgoing re-sorted: r1-t2's hop (ID 3, now 491) ties r1-t1's (ID 1,
+	// 491) and precedes r2-t1 (ID 4, 500).
+	out := nt.Outgoing(1)
+	prev := timeutil.Ticks(-1)
+	for _, id := range out {
+		if d := nt.Connections[id].Dep; d < prev {
+			t.Fatalf("conn(B) unsorted after patch: %v", out)
+		} else {
+			prev = d
+		}
+	}
+	// Station D was not touched: its rows are shared with the old snapshot.
+	if !sliceShared(tt.Incoming(3), nt.Incoming(3)) {
+		t.Error("untouched incoming row not shared")
+	}
+	// Stations, trains, routes, train indexes shared.
+	if &tt.Stations[0] != &nt.Stations[0] || &tt.routes[0] != &nt.routes[0] {
+		t.Error("immutable structure not shared")
+	}
+	if !sliceShared(tt.TrainConnections(1), nt.TrainConnections(1)) {
+		t.Error("train index not shared")
+	}
+}
+
+func TestPatchCancelFiltersIndexes(t *testing.T) {
+	tt := tinyNetwork(t)
+	// Cancel train r2-t1 (conns 4 and 5).
+	nt, err := tt.Patch([]ConnUpdate{{ID: 4, Cancel: true}, {ID: 5, Cancel: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nt.Cancelled(4) || !nt.Cancelled(5) {
+		t.Fatal("connections not marked cancelled")
+	}
+	if tt.Cancelled(4) {
+		t.Fatal("receiver mutated by cancel")
+	}
+	// IDs stay dense; the cancelled conns vanish from the indexes.
+	if nt.NumConnections() != tt.NumConnections() {
+		t.Fatal("cancel must not renumber connections")
+	}
+	for _, id := range nt.Outgoing(1) {
+		if id == 4 {
+			t.Fatal("cancelled conn still in outgoing")
+		}
+	}
+	for _, id := range nt.Incoming(3) {
+		if id == 5 {
+			t.Fatal("cancelled conn still in incoming")
+		}
+	}
+	// A retime of a cancelled connection is ignored.
+	nt2, err := nt.Patch([]ConnUpdate{{ID: 4, Dep: 100, Arr: 110}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nt2.Cancelled(4) {
+		t.Fatal("cancellation must be permanent")
+	}
+}
+
+func TestPatchValidation(t *testing.T) {
+	tt := tinyNetwork(t)
+	cases := []ConnUpdate{
+		{ID: 99, Dep: 100, Arr: 110},  // unknown connection
+		{ID: 0, Dep: 1500, Arr: 1510}, // departure outside Π
+		{ID: 0, Dep: 100, Arr: 90},    // arrival before departure
+		{ID: -1, Cancel: true},        // negative ID
+	}
+	for i, u := range cases {
+		if _, err := tt.Patch([]ConnUpdate{u}); err == nil {
+			t.Errorf("case %d: invalid update %+v accepted", i, u)
+		}
+	}
+	// Empty batch returns the receiver.
+	nt, err := tt.Patch(nil)
+	if err != nil || nt != tt {
+		t.Fatalf("empty patch: got %p want %p (err %v)", nt, tt, err)
+	}
+}
+
+func TestPatchMatchesRebuild(t *testing.T) {
+	tt := tinyNetwork(t)
+	// Shift train r1-t1 (conns 0, 1) +25 and cancel r2-t1 (conns 4, 5), then
+	// compare the patched indexes with a from-scratch rebuild of the same
+	// connection array.
+	updates := []ConnUpdate{
+		{ID: 0, Dep: tt.Connections[0].Dep + 25, Arr: tt.Connections[0].Arr + 25},
+		{ID: 1, Dep: tt.Connections[1].Dep + 25, Arr: tt.Connections[1].Arr + 25},
+		{ID: 4, Cancel: true},
+		{ID: 5, Cancel: true},
+	}
+	nt, err := tt.Patch(updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := append([]Connection(nil), nt.Connections...)
+	stations := append([]Station(nil), tt.Stations...)
+	trains := append([]Train(nil), tt.Trains...)
+	ref, err := New(tt.Period, stations, trains, conns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := StationID(0); int(s) < tt.NumStations(); s++ {
+		if got, want := nt.Outgoing(s), ref.Outgoing(s); !equalIDs(got, want) {
+			t.Errorf("station %d outgoing: patch %v, rebuild %v", s, got, want)
+		}
+		if got, want := nt.Incoming(s), ref.Incoming(s); !equalIDs(got, want) {
+			t.Errorf("station %d incoming: patch %v, rebuild %v", s, got, want)
+		}
+	}
+}
+
+func equalIDs(a, b []ConnID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTrainIndexes(t *testing.T) {
+	tt := tinyNetwork(t)
+	if got := tt.TrainConnections(0); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("TrainConnections(0) = %v", got)
+	}
+	if got := tt.TrainsByName("r2-t1"); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("TrainsByName(r2-t1) = %v", got)
+	}
+	if got := tt.TrainsByName("nope"); got != nil {
+		t.Fatalf("TrainsByName(nope) = %v", got)
+	}
+}

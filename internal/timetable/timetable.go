@@ -97,6 +97,8 @@ type Timetable struct {
 	outgoing     [][]ConnID // conn(S) per station, non-decreasing by Dep
 	incoming     [][]ConnID // reverse: connections arriving at S
 	footpathsOut [][]Footpath
+	trainConns   [][]ConnID           // per train: its connections in ID (temporal) order
+	trainsByName map[string][]TrainID // exact-name train lookup for dynamic updates
 }
 
 // New validates the raw timetable data, derives routes and connection
@@ -257,9 +259,20 @@ func (tt *Timetable) deriveRoutes() {
 func (tt *Timetable) buildConnIndexes() {
 	tt.outgoing = make([][]ConnID, len(tt.Stations))
 	tt.incoming = make([][]ConnID, len(tt.Stations))
+	tt.trainConns = make([][]ConnID, len(tt.Trains))
 	for _, c := range tt.Connections {
+		tt.trainConns[c.Train] = append(tt.trainConns[c.Train], c.ID)
+		if c.Arr.IsInf() {
+			// Cancelled connection (see Patch): keeps its dense ID slot but
+			// is excluded from every query index, so searches never board it.
+			continue
+		}
 		tt.outgoing[c.From] = append(tt.outgoing[c.From], c.ID)
 		tt.incoming[c.To] = append(tt.incoming[c.To], c.ID)
+	}
+	tt.trainsByName = make(map[string][]TrainID, len(tt.Trains))
+	for _, z := range tt.Trains {
+		tt.trainsByName[z.Name] = append(tt.trainsByName[z.Name], z.ID)
 	}
 	for s := range tt.outgoing {
 		ids := tt.outgoing[s]
@@ -308,6 +321,20 @@ func (tt *Timetable) Outgoing(s StationID) []ConnID { return tt.outgoing[s] }
 
 // Incoming returns the connections arriving at S ordered by arrival time.
 func (tt *Timetable) Incoming(s StationID) []ConnID { return tt.incoming[s] }
+
+// TrainConnections returns the connections of train z in temporal (ID)
+// order, including cancelled ones. The slice is shared and must not be
+// modified.
+func (tt *Timetable) TrainConnections(z TrainID) []ConnID { return tt.trainConns[z] }
+
+// TrainsByName returns the trains carrying the exact name (names need not
+// be unique). The slice is shared and must not be modified.
+func (tt *Timetable) TrainsByName(name string) []TrainID { return tt.trainsByName[name] }
+
+// Cancelled reports whether a connection was cancelled by a dynamic update
+// (see Patch). Cancelled connections keep their dense ID slot and carry an
+// infinite arrival, but are excluded from the outgoing/incoming indexes.
+func (tt *Timetable) Cancelled(id ConnID) bool { return tt.Connections[id].Arr.IsInf() }
 
 // NumStations, NumTrains, NumConnections report the timetable sizes.
 func (tt *Timetable) NumStations() int    { return len(tt.Stations) }

@@ -17,6 +17,21 @@
 //
 // Preprocess accelerates repeated station-to-station queries with a
 // distance table between automatically selected transfer stations.
+//
+// # Dynamic updates
+//
+// Networks are immutable; delay feeds produce new networks. ApplyDelays is
+// the simple path (full rebuild + re-validation); ApplyUpdates is the
+// incremental path: a batch of train-level DelayOps (delays and
+// cancellations, selected by train name, route class and/or departure
+// window) patches only the touched connection and ride-edge slices,
+// sharing everything else with the receiver, so in-flight queries on the
+// old network stay valid. That snapshot discipline is what internal/live
+// builds on to serve delay ingestion under live traffic (cmd/tpserver's
+// POST /delays): queries always read one consistent version, updates swap
+// the next version in atomically. Updates invalidate a distance table —
+// the patched network returns Preprocessed() == false — so serving systems
+// re-preprocess (asynchronously, in live.Registry) or run unpruned.
 package transit
 
 import (

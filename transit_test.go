@@ -575,6 +575,33 @@ func TestFootpathsPublicAPI(t *testing.T) {
 	if arr4 != 510 {
 		t.Fatalf("delayed arrival = %d, want 510", arr4)
 	}
+	// ... and equally survive the incremental patch path: the patched
+	// network shares the footpath structures and answers identically.
+	patched, st, err := n.ApplyUpdates([]DelayOp{{Train: "t1", Delay: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ConnsRetimed != 1 {
+		t.Fatalf("incremental delay retimed %d conns, want 1", st.ConnsRetimed)
+	}
+	arr5, err := patched.EarliestArrival(a, c, 480, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr5 != 510 {
+		t.Fatalf("incrementally delayed arrival = %d, want 510", arr5)
+	}
+	if p2, _, err := patched.Profile(b, c, Options{}); err != nil || p2.WalkOnly() != 5 {
+		t.Fatalf("walk-only time lost under incremental patch: %v (%v)", p2.WalkOnly(), err)
+	}
+	// Cancelling the only train leaves the walk as the sole option.
+	walked, _, err := patched.ApplyUpdates([]DelayOp{{Train: "t1", Cancel: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr6, err := walked.EarliestArrival(b, c, 480, Options{}); err != nil || arr6 != 485 {
+		t.Fatalf("walk after cancellation = %d (%v), want 485", arr6, err)
+	}
 }
 
 func TestConnectionsAndDepartures(t *testing.T) {
