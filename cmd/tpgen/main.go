@@ -1,18 +1,25 @@
 // Command tpgen generates a synthetic public transportation network in the
-// library's text timetable format.
+// library's text timetable format, or as a ready-to-serve snapshot.
 //
 // Usage:
 //
 //	tpgen -family losangeles -scale 1.0 -seed 42 -out la.tt
+//	tpgen -family losangeles -preprocess 0.05 -o la.snap
 //
 // Families mirror the paper's five evaluation inputs: oahu, losangeles,
 // washington (city bus grids) and germany, europe (railways).
+//
+// With -o, the network is written as a versioned snapshot container
+// (docs/SNAPSHOT_FORMAT.md); add -preprocess to bake the transfer-station
+// distance table in, so tpserver -snapshot boots query-ready in
+// milliseconds with no preprocessing of its own.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"transit"
 )
@@ -21,21 +28,52 @@ func main() {
 	family := flag.String("family", "oahu", "network family: oahu|losangeles|washington|germany|europe")
 	scale := flag.Float64("scale", 1.0, "size multiplier (1.0 = laptop-friendly default)")
 	seed := flag.Int64("seed", 0, "random seed (0 = family default)")
-	out := flag.String("out", "", "output file (default stdout)")
+	out := flag.String("out", "", "timetable output file (default stdout)")
 	binaryFmt := flag.Bool("binary", false, "write the compact binary format instead of text")
+	snapOut := flag.String("o", "", "snapshot output file (versioned container; see docs/SNAPSHOT_FORMAT.md)")
+	preprocess := flag.Float64("preprocess", 0, "with -o: transfer-station fraction for an embedded distance table (0 = none)")
+	threads := flag.Int("threads", 1, "parallel workers for -preprocess")
 	flag.Parse()
 
 	n, err := transit.Generate(*family, *scale, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tpgen:", err)
-		os.Exit(1)
+		fail(err)
+	}
+	if *snapOut != "" {
+		if *preprocess > 0 {
+			start := time.Now()
+			var ps *transit.PreprocessStats
+			n, ps, err = n.Preprocess(transit.TransferSelection{Fraction: *preprocess}, transit.Options{Threads: *threads})
+			if err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "preprocessed %d transfer stations in %v (%.1f MiB table)\n",
+				ps.TransferStations, time.Since(start).Round(time.Millisecond), float64(ps.TableBytes)/(1<<20))
+		}
+		f, err := os.Create(*snapOut)
+		if err != nil {
+			fail(err)
+		}
+		err = n.WriteSnapshot(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fail(err)
+		}
+		if fi, err := os.Stat(*snapOut); err == nil {
+			fmt.Fprintf(os.Stderr, "snapshot %s: %.1f MiB\n", *snapOut, float64(fi.Size())/(1<<20))
+		}
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, n.Stats())
+			return
+		}
 	}
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tpgen:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer f.Close()
 		w = f
@@ -45,8 +83,12 @@ func main() {
 		write = n.WriteTimetableBinary
 	}
 	if err := write(w); err != nil {
-		fmt.Fprintln(os.Stderr, "tpgen:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Fprintln(os.Stderr, n.Stats())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tpgen:", err)
+	os.Exit(1)
 }

@@ -6,6 +6,7 @@
 // restart and no blocking of in-flight queries.
 //
 //	tpserver -net la.tt -preprocess 0.05 -repreprocess async -listen :8080
+//	tpserver -snapshot la.snap -persist state.snap -listen :8080
 //
 // Endpoints:
 //
@@ -37,6 +38,17 @@
 //	  {"route": 4, "from": "07:00", "to": "10:00", "delay_min": 20},
 //	  {"train": "RE 7", "cancel": true}
 //	]}
+//
+// # Snapshots and persistence
+//
+// -snapshot boots from a versioned network snapshot (tpgen -o, or
+// transit.Network.WriteSnapshot; format in docs/SNAPSHOT_FORMAT.md): the
+// timetable, station graph and distance table load from checksummed
+// sections in milliseconds, instead of re-generating and re-preprocessing
+// from source. -persist names a state file the server checkpoints the
+// current patched epoch to every -persist-interval (atomic write + rename)
+// and once more on shutdown; when the file exists at startup it wins over
+// -snapshot, so a restarted server resumes with its delays intact.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight queries drain (bounded by -shutdown-timeout), and background
@@ -108,6 +120,9 @@ func main() {
 	gtfsDir := flag.String("gtfs", "", "GTFS feed directory")
 	family := flag.String("generate", "", "serve a synthetic family instead of a file")
 	scale := flag.Float64("scale", 0.25, "scale for -generate")
+	snapFile := flag.String("snapshot", "", "boot from a network snapshot (tpgen -o; docs/SNAPSHOT_FORMAT.md)")
+	persistPath := flag.String("persist", "", "state file for periodic epoch persistence; resumed at startup when present")
+	persistInterval := flag.Duration("persist-interval", 30*time.Second, "how often -persist checkpoints the current epoch")
 	preprocess := flag.Float64("preprocess", 0.05, "transfer-station fraction (0 = no distance table)")
 	repreprocess := flag.String("repreprocess", "async", "distance table policy after a delay update: async, sync or off")
 	threads := flag.Int("threads", 1, "parallel workers per query")
@@ -115,35 +130,69 @@ func main() {
 	shutdownTimeout := flag.Duration("shutdown-timeout", 15*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
 
-	n, err := load(*netFile, *gtfsDir, *family, *scale)
-	if err != nil {
-		log.Fatal(err)
+	start := time.Now()
+	var n *transit.Network
+	state := transit.SnapshotState{}
+	switch {
+	case *persistPath != "" && fileExists(*persistPath):
+		// A persisted state file is the newest version this server (or its
+		// predecessor) served: it wins over the base snapshot.
+		var err error
+		n, state, err = loadSnapshotFile(*persistPath)
+		if err != nil {
+			log.Fatalf("tpserver: resuming from %s: %v", *persistPath, err)
+		}
+		log.Printf("resumed epoch %d from %s: %s", state.Epoch, *persistPath, n.Stats())
+	case *snapFile != "":
+		var err error
+		n, state, err = loadSnapshotFile(*snapFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded snapshot %s (epoch %d): %s", *snapFile, state.Epoch, n.Stats())
+	default:
+		var err error
+		n, err = load(*netFile, *gtfsDir, *family, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded network: %s", n.Stats())
 	}
-	log.Printf("loaded network: %s", n.Stats())
 	sel := transit.TransferSelection{Fraction: *preprocess}
-	if *preprocess > 0 {
+	if *preprocess > 0 && !n.Preprocessed() {
 		var ps *transit.PreprocessStats
+		var err error
 		n, ps, err = n.Preprocess(sel, transit.Options{Threads: *threads})
 		if err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("preprocessed %d transfer stations in %v (%.1f MiB)",
 			ps.TransferStations, ps.Elapsed, float64(ps.TableBytes)/(1<<20))
+	} else if n.Preprocessed() {
+		log.Printf("distance table loaded from snapshot (no preprocessing needed)")
 	}
 	policy, err := live.ParsePolicy(*repreprocess)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *preprocess <= 0 {
-		policy = live.ServeUnpruned // nothing to rebuild
+		// No valid transfer selection to rebuild with — even if a snapshot
+		// carried a table, the first delay batch invalidates it and the
+		// server continues unpruned (the operator opted out of
+		// preprocessing work with -preprocess 0).
+		policy = live.ServeUnpruned
 	}
-	reg := live.NewRegistry(n, live.Config{
+	reg := live.NewRegistryAt(n, state, live.Config{
 		Policy:    policy,
 		Selection: sel,
 		Options:   transit.Options{Threads: *threads},
 		Logf:      log.Printf,
 	})
+	if *persistPath != "" {
+		reg.StartPersist(*persistPath, *persistInterval)
+	}
 	s := newServer(reg, *threads)
+	log.Printf("ready in %v (epoch %d)", time.Since(start).Round(time.Millisecond), state.Epoch)
 
 	srv := &http.Server{
 		Addr:              *listen,
@@ -188,8 +237,26 @@ func load(netFile, gtfsDir, family string, scale float64) (*transit.Network, err
 	case family != "":
 		return transit.Generate(family, scale, 0)
 	default:
-		return nil, fmt.Errorf("tpserver: one of -net, -gtfs, -generate is required")
+		return nil, fmt.Errorf("tpserver: one of -net, -gtfs, -generate, -snapshot is required")
 	}
+}
+
+func loadSnapshotFile(path string) (*transit.Network, transit.SnapshotState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, transit.SnapshotState{}, err
+	}
+	defer f.Close()
+	n, st, err := transit.LoadSnapshot(f)
+	if err != nil {
+		return nil, transit.SnapshotState{}, fmt.Errorf("tpserver: %s: %w", path, err)
+	}
+	return n, *st, nil
+}
+
+func fileExists(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.Mode().IsRegular()
 }
 
 type stationJSON struct {
@@ -422,6 +489,8 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "tpserver_connections_cancelled_total %d\n", m.ConnsCancelled)
 	fmt.Fprintf(w, "tpserver_repreprocess_total %d\n", m.ReprocessedTotal)
 	fmt.Fprintf(w, "tpserver_repreprocess_errors_total %d\n", m.ReprocessErrors)
+	fmt.Fprintf(w, "tpserver_persist_total %d\n", m.PersistsTotal)
+	fmt.Fprintf(w, "tpserver_persist_errors_total %d\n", m.PersistErrors)
 	names := make([]string, 0, len(s.hits))
 	for name := range s.hits {
 		names = append(names, name)

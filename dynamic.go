@@ -105,7 +105,11 @@ func (n *Network) ApplyDelays(delta Ticks, filter func(ConnectionInfo) bool) (*N
 	if err != nil {
 		return nil, 0, fmt.Errorf("transit: delayed timetable invalid: %w", err)
 	}
-	return NewNetwork(tt), shifted, nil
+	nn := NewNetwork(tt)
+	// A no-op filter on an unpatched network leaves an equivalent schedule;
+	// patchedness is otherwise sticky along the derivation chain.
+	nn.patched = n.patched || shifted > 0
+	return nn, shifted, nil
 }
 
 // DelayOp is one operation of a dynamic-update batch: a train-level delay
@@ -273,7 +277,7 @@ func (n *Network) ApplyUpdates(ops []DelayOp) (*Network, *UpdateStats, error) {
 	// via-station computation conservative, hence correct — so it is shared.
 	// The distance table is NOT shared: its entries are travel times, which
 	// the update changed.
-	n2 := &Network{tt: ntt, g: ng, sg: n.sg, byName: n.byName}
+	n2 := &Network{tt: ntt, g: ng, sg: n.sg, byName: n.byName, patched: true}
 	st.Elapsed = time.Since(start)
 	return n2, st, nil
 }

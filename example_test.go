@@ -1,0 +1,125 @@
+package transit_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"transit"
+)
+
+// exampleNetwork builds a tiny deterministic three-station network: an
+// express and a local line from Airport via Center to Harbor, hourly.
+func exampleNetwork() *transit.Network {
+	tb := transit.NewTimetableBuilder(0) // 0 = the 1440-minute day
+	airport := tb.AddStation("Airport", 2)
+	center := tb.AddStation("Center", 3)
+	harbor := tb.AddStation("Harbor", 2)
+	for h := 6; h <= 22; h++ {
+		// Express: Airport →(24 min)→ Center, on the hour.
+		if err := tb.AddTrain(fmt.Sprintf("X%02d", h), []transit.StationID{airport, center},
+			transit.Ticks(h*60), []transit.Ticks{24}, 0); err != nil {
+			log.Fatal(err)
+		}
+		// Local: Airport →(40)→ Center →(15)→ Harbor, at half past.
+		if err := tb.AddTrain(fmt.Sprintf("L%02d", h), []transit.StationID{airport, center, harbor},
+			transit.Ticks(h*60+30), []transit.Ticks{40, 15}, 2); err != nil {
+			log.Fatal(err)
+		}
+	}
+	net, err := tb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return net
+}
+
+// A plain time-query: depart at 08:10, when do we arrive? The 08:00 express
+// is gone, so the answer rides the 08:30 local.
+func ExampleNetwork_EarliestArrival() {
+	net := exampleNetwork()
+	airport, _ := net.StationByName("Airport")
+	center, _ := net.StationByName("Center")
+
+	dep, _ := transit.ParseClock("08:10")
+	arr, err := net.EarliestArrival(airport, center, dep, transit.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("depart %s, arrive %s (%d min)\n",
+		net.FormatClock(dep), net.FormatClock(arr), arr-dep)
+	// Output:
+	// depart 08:10, arrive 09:10 (60 min)
+}
+
+// A profile query: all best connections of the whole period in one search —
+// the paper's core operation. Both lines appear: a traveller present at
+// hh:30 sharp is better off on the local than waiting for the next express.
+func ExampleNetwork_Profile() {
+	net := exampleNetwork()
+	airport, _ := net.StationByName("Airport")
+	center, _ := net.StationByName("Center")
+
+	profile, _, err := net.Profile(airport, center, transit.Options{Threads: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	conns := profile.Connections()
+	fmt.Printf("%d relevant connections; first three:\n", len(conns))
+	for _, c := range conns[:3] {
+		fmt.Printf("  dep %s arr %s\n", net.FormatClock(c.Departure), net.FormatClock(c.Arrival))
+	}
+	// Output:
+	// 34 relevant connections; first three:
+	//   dep 06:00 arr 06:24
+	//   dep 06:30 arr 07:10
+	//   dep 07:00 arr 07:24
+}
+
+// A dynamic update: delay one train and cancel another. ApplyUpdates
+// returns a new network sharing all untouched structure with the old one,
+// which keeps serving concurrent queries unchanged.
+func ExampleNetwork_ApplyUpdates() {
+	net := exampleNetwork()
+	airport, _ := net.StationByName("Airport")
+	center, _ := net.StationByName("Center")
+	dep, _ := transit.ParseClock("07:55")
+
+	before, _ := net.EarliestArrival(airport, center, dep, transit.Options{})
+	updated, stats, err := net.ApplyUpdates([]transit.DelayOp{
+		{Train: "X08", Delay: 20},    // 08:00 express leaves 08:20
+		{Train: "X09", Cancel: true}, // 09:00 express never runs
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, _ := updated.EarliestArrival(airport, center, dep, transit.Options{})
+	fmt.Printf("delayed %d train(s), cancelled %d\n", stats.TrainsDelayed, stats.TrainsCancelled)
+	fmt.Printf("07:55 traveller: %s before, %s after\n", net.FormatClock(before), net.FormatClock(after))
+	// Output:
+	// delayed 1 train(s), cancelled 1
+	// 07:55 traveller: 08:24 before, 08:44 after
+}
+
+// Persistence: write the query-ready network into the versioned snapshot
+// container and boot a fresh Network from it — the tpserver -snapshot path.
+func ExampleLoadSnapshot() {
+	net := exampleNetwork()
+
+	var buf bytes.Buffer
+	if err := net.WriteSnapshot(&buf); err != nil {
+		log.Fatal(err)
+	}
+	loaded, state, err := transit.LoadSnapshot(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	airport, _ := loaded.StationByName("Airport")
+	harbor, _ := loaded.StationByName("Harbor")
+	dep, _ := transit.ParseClock("08:00")
+	arr, _ := loaded.EarliestArrival(airport, harbor, dep, transit.Options{})
+	fmt.Printf("epoch %d snapshot; Airport→Harbor at %s arrives %s\n",
+		state.Epoch, loaded.FormatClock(dep), loaded.FormatClock(arr))
+	// Output:
+	// epoch 0 snapshot; Airport→Harbor at 08:00 arrives 09:27
+}

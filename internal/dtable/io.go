@@ -11,9 +11,9 @@ import (
 	"transit/internal/ttf"
 )
 
-// Binary distance-table format v1 (little endian):
+// Distance-table section body (little endian), the SecDistanceTable payload
+// of the snapshot container (docs/SNAPSHOT_FORMAT.md):
 //
-//	magic   [8]byte  "TDTABLE1"
 //	period  int32
 //	numStations int32            (of the network the table was built for)
 //	numTransfer int32
@@ -21,17 +21,18 @@ import (
 //	for each ordered pair (i, j), row-major:
 //	  numPoints int32
 //	  points    [numPoints]{dep int32, w int32}
+//
+// The standalone file format written by Write (SavePreprocessing) is the
+// same body prefixed with the magic "TDTABLE1".
 
 var magic = [8]byte{'T', 'D', 'T', 'A', 'B', 'L', 'E', '1'}
 
-// Write serializes the table. numStations must be the station count of the
-// network the table belongs to; Read validates it on load.
-func Write(w io.Writer, t *Table, numStations int) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magic[:]); err != nil {
-		return err
-	}
-	put := func(v int32) error { return binary.Write(bw, binary.LittleEndian, v) }
+// WriteSection serializes the table body without magic framing — the form
+// the snapshot container embeds (and checksums) as its distance-table
+// section. numStations must be the station count of the network the table
+// belongs to; ReadSection validates it on load.
+func WriteSection(w io.Writer, t *Table, numStations int) error {
+	put := func(v int32) error { return binary.Write(w, binary.LittleEndian, v) }
 	if err := put(int32(t.period.Len())); err != nil {
 		return err
 	}
@@ -62,23 +63,28 @@ func Write(w io.Writer, t *Table, numStations int) error {
 			}
 		}
 	}
+	return nil
+}
+
+// Write serializes the table as a standalone file: the magic "TDTABLE1"
+// followed by the section body. This is the SavePreprocessing format.
+func Write(w io.Writer, t *Table, numStations int) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := WriteSection(bw, t, numStations); err != nil {
+		return err
+	}
 	return bw.Flush()
 }
 
-// Read parses a serialized table, validating it against the expected
-// station count of the network it will be attached to.
-func Read(r io.Reader, wantStations int) (*Table, error) {
-	br := bufio.NewReader(r)
-	var m [8]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("dtable: reading magic: %w", err)
-	}
-	if m != magic {
-		return nil, fmt.Errorf("dtable: bad magic %q", m)
-	}
+// ReadSection parses a table section body, validating it against the
+// expected station count of the network it will be attached to.
+func ReadSection(r io.Reader, wantStations int) (*Table, error) {
 	get := func() (int32, error) {
 		var v int32
-		err := binary.Read(br, binary.LittleEndian, &v)
+		err := binary.Read(r, binary.LittleEndian, &v)
 		return v, err
 	}
 	pi, err := get()
@@ -155,4 +161,18 @@ func Read(r io.Reader, wantStations int) (*Table, error) {
 		t.prof[i] = row
 	}
 	return t, nil
+}
+
+// Read parses a standalone table file (magic + section body), validating it
+// against the expected station count. This is the LoadPreprocessing format.
+func Read(r io.Reader, wantStations int) (*Table, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("dtable: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("dtable: bad magic %q", m)
+	}
+	return ReadSection(br, wantStations)
 }

@@ -52,4 +52,16 @@
 // The station graph, unlike the table, survives updates: delays never
 // change connectivity and cancellations only shrink it, and a conservative
 // (superset) station graph keeps the via-station computation correct.
+//
+// # Persistence
+//
+// A Registry can checkpoint its current snapshot to disk in the versioned
+// container of internal/snapshot (byte layout and compatibility rules in
+// docs/SNAPSHOT_FORMAT.md): Persist streams the current network plus its
+// epoch, PersistFile writes atomically (temp file + rename, unchanged
+// versions skipped), and StartPersist runs a periodic checkpoint loop with
+// a final write on Close. A restarted server loads the checkpoint with
+// transit.LoadSnapshot and resumes the epoch sequence via NewRegistryAt,
+// so applied delays survive process restarts — see tpserver's -snapshot
+// and -persist flags for the wiring.
 package live

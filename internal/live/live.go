@@ -94,10 +94,11 @@ type Registry struct {
 	cfg Config
 	cur atomic.Pointer[Snapshot]
 
-	mu         sync.Mutex // serializes Apply and the async re-preprocess swap
-	wg         sync.WaitGroup
-	closed     bool
-	rebuilding bool // an async re-preprocess goroutine is alive (under mu)
+	mu          sync.Mutex // serializes Apply and the async re-preprocess swap
+	wg          sync.WaitGroup
+	closed      bool
+	rebuilding  bool          // an async re-preprocess goroutine is alive (under mu)
+	persistStop chan struct{} // closes the StartPersist loop (set under mu)
 
 	updates          atomic.Uint64
 	connsRetimed     atomic.Uint64
@@ -105,6 +106,9 @@ type Registry struct {
 	lastUpdateMicros atomic.Int64
 	reprocessed      atomic.Uint64
 	reprocessErrors  atomic.Uint64
+	persists         atomic.Uint64
+	persistErrors    atomic.Uint64
+	persistedKey     atomic.Int64 // persistKey of the last PersistFile write; 0 = none
 }
 
 // NewRegistry wraps an already-loaded (and possibly preprocessed) network
@@ -141,6 +145,7 @@ func (r *Registry) Apply(ops []transit.DelayOp) (*Snapshot, *transit.UpdateStats
 	if r.cfg.Policy == ReprocessSync {
 		pre, ps, err := next.Preprocess(r.cfg.Selection, r.cfg.Options)
 		if err != nil {
+			r.reprocessErrors.Add(1)
 			return nil, nil, fmt.Errorf("%w: %v", ErrReprocess, err)
 		}
 		r.reprocessed.Add(1)
@@ -199,11 +204,17 @@ func (r *Registry) reprocess(snap *Snapshot) {
 	}
 }
 
-// Close stops accepting updates and waits for in-flight background
-// re-preprocessing to finish. Snapshots already handed out stay valid.
+// Close stops accepting updates, stops the persistence loop (after one
+// final checkpoint), and waits for in-flight background re-preprocessing to
+// finish. Snapshots already handed out stay valid.
 func (r *Registry) Close() {
 	r.mu.Lock()
-	r.closed = true
+	if !r.closed {
+		r.closed = true
+		if r.persistStop != nil {
+			close(r.persistStop)
+		}
+	}
 	r.mu.Unlock()
 	r.wg.Wait()
 }
@@ -225,6 +236,8 @@ type Metrics struct {
 	LastUpdate       time.Duration
 	ReprocessedTotal uint64
 	ReprocessErrors  uint64
+	PersistsTotal    uint64
+	PersistErrors    uint64
 }
 
 // Metrics reads the counters (wait-free).
@@ -239,5 +252,7 @@ func (r *Registry) Metrics() Metrics {
 		LastUpdate:       time.Duration(r.lastUpdateMicros.Load()) * time.Microsecond,
 		ReprocessedTotal: r.reprocessed.Load(),
 		ReprocessErrors:  r.reprocessErrors.Load(),
+		PersistsTotal:    r.persists.Load(),
+		PersistErrors:    r.persistErrors.Load(),
 	}
 }

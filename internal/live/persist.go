@@ -1,0 +1,127 @@
+package live
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"transit"
+)
+
+// NewRegistryAt wraps a network restored from a persisted snapshot
+// (transit.LoadSnapshot), resuming at its recorded epoch instead of 0, so a
+// restarted server continues the epoch sequence its feed clients observed.
+func NewRegistryAt(net *transit.Network, st transit.SnapshotState, cfg Config) *Registry {
+	r := &Registry{cfg: cfg}
+	created := st.Created
+	if created.IsZero() {
+		created = time.Now()
+	}
+	r.cur.Store(&Snapshot{Net: net, Epoch: st.Epoch, Created: created})
+	return r
+}
+
+// Persist writes the current snapshot — network, distance table if present,
+// epoch, creation time — in the snapshot container format. Loading the
+// stream with transit.LoadSnapshot and seeding a registry with NewRegistryAt
+// resumes serving at this exact version, delays intact.
+//
+// Persist reads the snapshot pointer once; an Apply racing it is either
+// fully included or fully absent, never half-applied.
+func (r *Registry) Persist(w io.Writer) (uint64, error) {
+	snap := r.Snapshot()
+	err := snap.Net.WriteSnapshotState(w, transit.SnapshotState{Epoch: snap.Epoch, Created: snap.Created})
+	return snap.Epoch, err
+}
+
+// persistKey packs the identity of a persisted version: the epoch plus
+// whether the network carried a distance table at the time (an async
+// re-preprocess re-publishes the same epoch with a table, which is worth
+// persisting again). Keys are ≥ 1 so the zero value of persistedKey means
+// "nothing persisted yet".
+func persistKey(s *Snapshot) int64 {
+	k := int64(s.Epoch)<<1 + 1
+	if s.Preprocessed() {
+		k |= 1 << 62
+	}
+	return k
+}
+
+// PersistFile atomically persists the current snapshot to path (write to a
+// temporary file in the same directory, then rename). It returns the
+// persisted epoch and whether a write happened: a version already persisted
+// by a previous successful PersistFile is skipped.
+func (r *Registry) PersistFile(path string) (uint64, bool, error) {
+	snap := r.Snapshot()
+	key := persistKey(snap)
+	if r.persistedKey.Load() == key {
+		return snap.Epoch, false, nil
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		r.persistErrors.Add(1)
+		return snap.Epoch, false, fmt.Errorf("live: persisting epoch %d: %w", snap.Epoch, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	err = snap.Net.WriteSnapshotState(tmp, transit.SnapshotState{Epoch: snap.Epoch, Created: snap.Created})
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		r.persistErrors.Add(1)
+		return snap.Epoch, false, fmt.Errorf("live: persisting epoch %d: %w", snap.Epoch, err)
+	}
+	r.persistedKey.Store(key)
+	r.persists.Add(1)
+	return snap.Epoch, true, nil
+}
+
+// StartPersist launches the background persistence loop: every interval the
+// current snapshot is written to path (atomically, skipping unchanged
+// versions), and Close performs one final persist before returning, so the
+// last applied epoch always survives a graceful shutdown. At most one loop
+// runs per registry; extra calls are no-ops.
+func (r *Registry) StartPersist(path string, interval time.Duration) {
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	r.mu.Lock()
+	if r.closed || r.persistStop != nil {
+		r.mu.Unlock()
+		return
+	}
+	r.persistStop = make(chan struct{})
+	stop := r.persistStop
+	r.wg.Add(1)
+	r.mu.Unlock()
+	go func() {
+		defer r.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				r.persistTick(path)
+			case <-stop:
+				r.persistTick(path) // final checkpoint: restarts resume at the last epoch
+				return
+			}
+		}
+	}()
+}
+
+func (r *Registry) persistTick(path string) {
+	epoch, wrote, err := r.PersistFile(path)
+	if err != nil {
+		r.logf("live: persist failed: %v", err)
+		return
+	}
+	if wrote {
+		r.logf("live: persisted epoch %d to %s", epoch, path)
+	}
+}

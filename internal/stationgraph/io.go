@@ -1,0 +1,129 @@
+package stationgraph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"transit/internal/timetable"
+	"transit/internal/timeutil"
+)
+
+// Station-graph section body (little endian), the SecStationGraph payload of
+// the snapshot container (docs/SNAPSHOT_FORMAT.md):
+//
+//	n        int32            number of stations
+//	offsets  [n+1]int32       CSR offsets into the forward arc array
+//	arcs     [offsets[n]]{to int32, w int32}
+//
+// Only the forward adjacency is stored; the reverse adjacency and the degree
+// array are derived on load, so the section stays flat and mmap-friendly.
+
+// WriteSection serializes the station graph as a snapshot section body (no
+// magic, no checksum — the snapshot container frames and checksums it).
+func WriteSection(w io.Writer, g *Graph) error {
+	put := func(v int32) error { return binary.Write(w, binary.LittleEndian, v) }
+	if err := put(int32(g.n)); err != nil {
+		return err
+	}
+	off := int32(0)
+	for s := 0; s < g.n; s++ {
+		if err := put(off); err != nil {
+			return err
+		}
+		off += int32(len(g.out[s]))
+	}
+	if err := put(off); err != nil {
+		return err
+	}
+	for s := 0; s < g.n; s++ {
+		for _, a := range g.out[s] {
+			if err := put(int32(a.To)); err != nil {
+				return err
+			}
+			if err := put(int32(a.W)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadSection parses a station-graph section body, rebuilding the reverse
+// adjacency and the degree array from the stored forward CSR.
+func ReadSection(r io.Reader) (*Graph, error) {
+	get := func() (int32, error) {
+		var v int32
+		err := binary.Read(r, binary.LittleEndian, &v)
+		return v, err
+	}
+	n, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("stationgraph: reading station count: %w", err)
+	}
+	if n < 0 || n > 1<<28 {
+		return nil, fmt.Errorf("stationgraph: implausible station count %d", n)
+	}
+	offsets := make([]int32, n+1)
+	for i := range offsets {
+		if offsets[i], err = get(); err != nil {
+			return nil, fmt.Errorf("stationgraph: reading offsets: %w", err)
+		}
+		if offsets[i] < 0 || (i > 0 && offsets[i] < offsets[i-1]) {
+			return nil, fmt.Errorf("stationgraph: offsets not non-decreasing at %d", i)
+		}
+	}
+	m := offsets[n]
+	if m > 1<<30 {
+		return nil, fmt.Errorf("stationgraph: implausible arc count %d", m)
+	}
+	g := &Graph{n: int(n), out: make([][]Arc, n), in: make([][]Arc, n)}
+	arcs := make([]Arc, m)
+	for i := range arcs {
+		to, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("stationgraph: reading arc %d: %w", i, err)
+		}
+		w, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("stationgraph: reading arc %d: %w", i, err)
+		}
+		if to < 0 || to >= n {
+			return nil, fmt.Errorf("stationgraph: arc %d targets station %d of %d", i, to, n)
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("stationgraph: arc %d has negative weight %d", i, w)
+		}
+		arcs[i] = Arc{To: timetable.StationID(to), W: timeutil.Ticks(w)}
+	}
+	for s := 0; s < int(n); s++ {
+		g.out[s] = arcs[offsets[s]:offsets[s+1]:offsets[s+1]]
+		for i := 1; i < len(g.out[s]); i++ {
+			if g.out[s][i].To <= g.out[s][i-1].To {
+				return nil, fmt.Errorf("stationgraph: station %d arcs not strictly sorted", s)
+			}
+		}
+	}
+	for s := 0; s < int(n); s++ {
+		for _, a := range g.out[s] {
+			g.in[a.To] = append(g.in[a.To], Arc{To: timetable.StationID(s), W: a.W})
+		}
+	}
+	for s := 0; s < int(n); s++ {
+		sort.Slice(g.in[s], func(i, j int) bool { return g.in[s][i].To < g.in[s][j].To })
+	}
+	g.deg = make([]int, n)
+	nb := make(map[timetable.StationID]struct{})
+	for s := 0; s < int(n); s++ {
+		clear(nb)
+		for _, a := range g.out[s] {
+			nb[a.To] = struct{}{}
+		}
+		for _, a := range g.in[s] {
+			nb[a.To] = struct{}{}
+		}
+		g.deg[s] = len(nb)
+	}
+	return g, nil
+}

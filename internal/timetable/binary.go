@@ -11,7 +11,8 @@ import (
 )
 
 // Binary timetable format v1 (little endian) — a faster alternative to the
-// text format for large networks:
+// text format for large networks, and, unchanged, the timetable section
+// payload of the snapshot container (docs/SNAPSHOT_FORMAT.md):
 //
 //	magic    [8]byte "TTBLBIN1"
 //	period   int32

@@ -75,6 +75,13 @@ type Network struct {
 	// with preprocessing is still immutable: Preprocess returns a new
 	// wrapper sharing the base data.
 	table *dtable.Table
+
+	// patched marks networks produced by dynamic updates (ApplyUpdates,
+	// ApplyDelays, or a snapshot restored at epoch > 0): their times differ
+	// from what any previously saved distance table was built for, so
+	// LoadPreprocessing refuses to attach one. Preprocess (which recomputes)
+	// remains available.
+	patched bool
 }
 
 // NewNetwork builds the query structures (time-dependent graph of the
@@ -235,8 +242,18 @@ func (n *Network) SavePreprocessing(w io.Writer) error {
 // new preprocessed Network sharing the base data. The table must have been
 // built for a network with the same station count; loading a table from a
 // different network yields wrong answers, so prefer saving/loading network
-// and table together.
+// and table together (WriteSnapshot stores both in one checksummed file).
+//
+// A network patched by dynamic updates (ApplyUpdates/ApplyDelays) rejects
+// saved tables: their entries are travel times of the original schedule,
+// which the patches changed. Re-preprocess instead, or boot from a snapshot
+// that carries a table built after the patches.
 func (n *Network) LoadPreprocessing(r io.Reader) (*Network, error) {
+	if n.patched {
+		return nil, fmt.Errorf("transit: cannot load preprocessing into a dynamically patched network: " +
+			"the saved table was built for the original schedule; call Preprocess to rebuild it " +
+			"(or load a snapshot that embeds a post-update table)")
+	}
 	t, err := dtable.Read(r, n.tt.NumStations())
 	if err != nil {
 		return nil, err
