@@ -63,6 +63,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof side listener
 	"os"
 	"os/signal"
 	"sort"
@@ -127,8 +128,21 @@ func main() {
 	repreprocess := flag.String("repreprocess", "async", "distance table policy after a delay update: async, sync or off")
 	threads := flag.Int("threads", 1, "parallel workers per query")
 	listen := flag.String("listen", ":8080", "listen address")
+	pprofAddr := flag.String("pprof", "", "side listener for net/http/pprof (e.g. 127.0.0.1:6060; empty = off)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 15*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// Profiles (CPU of repair vs. rebuild, heap of the table) are served
+		// on a separate listener so they can stay firewalled off from query
+		// traffic; net/http/pprof registers on the default mux.
+		go func() {
+			log.Printf("pprof listening on %s (/debug/pprof/)", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("tpserver: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	start := time.Now()
 	var n *transit.Network
@@ -489,6 +503,10 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "tpserver_connections_cancelled_total %d\n", m.ConnsCancelled)
 	fmt.Fprintf(w, "tpserver_repreprocess_total %d\n", m.ReprocessedTotal)
 	fmt.Fprintf(w, "tpserver_repreprocess_errors_total %d\n", m.ReprocessErrors)
+	fmt.Fprintf(w, "dtable_repairs_total %d\n", m.RepairsTotal)
+	fmt.Fprintf(w, "dtable_rows_repaired_total %d\n", m.RowsRepairedTotal)
+	fmt.Fprintf(w, "dtable_full_rebuilds_total %d\n", m.FullRebuildsTotal)
+	fmt.Fprintf(w, "dtable_repreprocess_last_seconds %g\n", m.LastReprocess.Seconds())
 	fmt.Fprintf(w, "tpserver_persist_total %d\n", m.PersistsTotal)
 	fmt.Fprintf(w, "tpserver_persist_errors_total %d\n", m.PersistErrors)
 	names := make([]string, 0, len(s.hits))

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"transit"
 	"transit/internal/live"
@@ -381,5 +382,46 @@ func TestConcurrentDelaysAndQueries(t *testing.T) {
 	}
 	if ver["epoch"].(float64) != batches {
 		t.Fatalf("final epoch %v, want %d", ver["epoch"], batches)
+	}
+}
+
+// TestAsyncRepairServing drives the full repair loop through the HTTP
+// surface: a preprocessed network serves, POST /delays swaps the patched
+// snapshot in immediately, the background *repair* restores the distance
+// table under the same epoch, and /metrics reports the dtable repair
+// counters.
+func TestAsyncRepairServing(t *testing.T) {
+	sel := transit.TransferSelection{Fraction: 1}
+	opt := transit.Options{RepairMaxDirty: 1}
+	n, _, err := hourlyNetwork(t).Preprocess(sel, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := live.NewRegistry(n, live.Config{Policy: live.ReprocessAsync, Selection: sel, Options: opt})
+	defer reg.Close()
+	s := newServer(reg, 1)
+	mux := newMux(s)
+
+	rec := post(t, mux, "/delays", `{"ops":[{"train":"h08","delay_min":15}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /delays: %d %s", rec.Code, rec.Body)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !reg.Snapshot().Preprocessed() {
+		if time.Now().After(deadline) {
+			t.Fatal("async repair never landed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rec = get(t, mux, "/arrival?from=0&to=1&at=08:00")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"arrive":"08:45"`) {
+		t.Fatalf("post-repair arrival: %d %s", rec.Code, rec.Body)
+	}
+	rec = get(t, mux, "/metrics")
+	body := rec.Body.String()
+	for _, want := range []string{"dtable_repairs_total 1", "dtable_full_rebuilds_total 0", "dtable_rows_repaired_total", "dtable_repreprocess_last_seconds"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
 	}
 }

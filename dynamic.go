@@ -2,6 +2,7 @@ package transit
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"transit/internal/timetable"
@@ -140,6 +141,49 @@ type DelayOp struct {
 	Cancel bool
 }
 
+// TouchedConn records one connection a dynamic-update batch changed: the
+// departure it had before (OldDep) and after (NewDep), or Cancelled. It is
+// the unit of incremental distance-table repair (Repreprocess): a batch's
+// touched set, accumulated across epochs with MergeTouched, tells the
+// repair which table rows the updates can possibly affect.
+type TouchedConn struct {
+	Conn      int
+	Train     int
+	Route     int
+	From      StationID
+	OldDep    Ticks
+	NewDep    Ticks
+	Cancelled bool
+}
+
+// MergeTouched composes touched sets of consecutive update batches into one
+// set describing the total change: per connection the first OldDep and the
+// last NewDep (cancellation is sticky, matching the patch semantics), with
+// net no-op retimes dropped. Both inputs are left untouched; the result is
+// sorted by connection ID.
+func MergeTouched(acc, next []TouchedConn) []TouchedConn {
+	byConn := make(map[int]TouchedConn, len(acc)+len(next))
+	for _, t := range acc {
+		byConn[t.Conn] = t
+	}
+	for _, t := range next {
+		if prev, ok := byConn[t.Conn]; ok {
+			t.OldDep = prev.OldDep
+			t.Cancelled = t.Cancelled || prev.Cancelled
+		}
+		byConn[t.Conn] = t
+	}
+	out := make([]TouchedConn, 0, len(byConn))
+	for _, t := range byConn {
+		if !t.Cancelled && t.OldDep == t.NewDep {
+			continue // retimed back to its original slot: periodically a no-op
+		}
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Conn < out[j].Conn })
+	return out
+}
+
 // UpdateStats reports the work of one ApplyUpdates call.
 type UpdateStats struct {
 	TrainsDelayed   int
@@ -147,6 +191,10 @@ type UpdateStats struct {
 	ConnsRetimed    int
 	ConnsCancelled  int
 	Elapsed         time.Duration
+	// Touched lists the connections this batch changed (sorted by ID) —
+	// the input Repreprocess needs to repair a distance table built before
+	// the batch.
+	Touched []TouchedConn
 }
 
 // ApplyUpdates is the incremental counterpart of ApplyDelays: it returns a
@@ -244,22 +292,28 @@ func (n *Network) ApplyUpdates(ops []DelayOp) (*Network, *UpdateStats, error) {
 		default:
 			continue // net-zero delay: nothing to do
 		}
+		route := int(tt.RouteOf(z))
 		for _, id := range tt.TrainConnections(z) {
 			if tt.Cancelled(id) {
 				continue
 			}
 			c := tt.Connections[id]
+			tc := TouchedConn{Conn: int(id), Train: int(z), Route: route, From: c.From, OldDep: c.Dep, NewDep: c.Dep}
 			if a.cancel {
 				updates = append(updates, timetable.ConnUpdate{ID: id, Cancel: true})
+				tc.Cancelled = true
 				st.ConnsCancelled++
 			} else {
 				dep := tt.Period.Wrap(c.Dep + a.delta)
 				updates = append(updates, timetable.ConnUpdate{ID: id, Dep: dep, Arr: dep + c.Duration()})
+				tc.NewDep = dep
 				st.ConnsRetimed++
 			}
+			st.Touched = append(st.Touched, tc)
 			touched = append(touched, id)
 		}
 	}
+	sort.Slice(st.Touched, func(i, j int) bool { return st.Touched[i].Conn < st.Touched[j].Conn })
 	if len(updates) == 0 {
 		st.Elapsed = time.Since(start)
 		return n, st, nil

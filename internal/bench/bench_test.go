@@ -80,6 +80,15 @@ func TestTable2Structure(t *testing.T) {
 	if rows[1].Transfer <= 0 || rows[1].PreproTime <= 0 {
 		t.Fatalf("table row lacks preprocessing cost: %+v", rows[1])
 	}
+	if rows[0].TableUpdatesPerSec != 0 {
+		t.Fatalf("no-table row reports table-update throughput: %+v", rows[0])
+	}
+	if rows[1].TableUpdatesPerSec <= 0 {
+		t.Fatalf("table row lacks upd/s(table): %+v", rows[1])
+	}
+	if rows[1].UpdatesPerSec < rows[1].TableUpdatesPerSec {
+		t.Fatalf("table repair cannot be faster than the patch alone: %+v", rows[1])
+	}
 	for _, r := range rows {
 		if r.MeanSettled < 0 || r.MeanTimeMS < 0 {
 			t.Fatalf("negative metrics: %+v", r)

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+
+	"transit/internal/dtable"
+	"transit/internal/graph"
+	"transit/internal/timetable"
+	"transit/internal/timeutil"
+	"transit/internal/ttf"
+)
+
+// rowProvenance summarizes a one-to-all result into the per-row repair
+// provenance of internal/dtable (see dtable.RowProvenance for the model and
+// docs/PREPROCESSING.md for why each part is sound):
+//
+//   - Used: trains ridden by the recorded parent-chain journey of every
+//     settled label at every target station. The sweep marks visited
+//     (node, i) pairs with a workspace stamp array, so shared chain
+//     suffixes are walked once and the total work is O(settled labels).
+//
+//   - Reach: per route, the bucketed settled arrival times at the route's
+//     ride-edge tail nodes (the last node of a route has no Ride edge and
+//     is skipped).
+//
+//   - Walk: the sorted key set of the search's walk-distance map.
+//
+// The result must still be live on this workspace (no later query run).
+func (ws *Workspace) rowProvenance(r *ProfileResult, targets []timetable.StationID) (*dtable.RowProvenance, error) {
+	if !r.hasParents {
+		return nil, fmt.Errorf("core: row provenance requires Options.TrackParents")
+	}
+	g, tt := r.g, r.g.TT
+	numRoutes := g.NumRoutes()
+	numTrains := tt.NumTrains()
+	const reachWords = dtable.ReachBuckets / 64
+	k := len(r.Conns)
+	prov := &dtable.RowProvenance{
+		Used:  make([]uint64, (numTrains+63)/64),
+		Reach: make([]uint64, numRoutes*reachWords),
+	}
+
+	prov.Walk = make([]timetable.StationID, 0, len(r.walk))
+	for s := range r.walk {
+		prov.Walk = append(prov.Walk, s)
+	}
+	sortStations(prov.Walk)
+
+	period := tt.Period
+	piLen := int(period.Len())
+	for ri := 0; ri < numRoutes; ri++ {
+		first, n := g.RouteNodeSpan(ri)
+		reach := prov.Reach[ri*reachWords : (ri+1)*reachWords]
+		for p := 0; p+1 < n; p++ { // skip the last node: no Ride edge out
+			base := r.label(first+graph.NodeID(p), 0)
+			for i := 0; i < k; i++ {
+				if r.arrGen[base+i] == r.gen {
+					b := int(period.Wrap(r.arr[base+i])) * dtable.ReachBuckets / piLen
+					reach[b/64] |= 1 << (uint(b) % 64)
+				}
+			}
+		}
+	}
+
+	ws.provGen = growU32(ws.provGen, len(r.arrGen))
+	visited := ws.provGen
+	for _, t := range targets {
+		v0 := g.StationNode(t)
+		for i := 0; i < k; i++ {
+			if r.arrGen[r.label(v0, i)] != r.gen {
+				continue
+			}
+			for v := v0; ; {
+				li := r.label(v, i)
+				if visited[li] == r.gen {
+					break
+				}
+				visited[li] = r.gen
+				p, c := r.parentAt(li)
+				if p == graph.NoNode {
+					break
+				}
+				if c >= 0 {
+					z := tt.Connections[c].Train
+					prov.Used[int(z)/64] |= 1 << (uint(z) % 64)
+				}
+				v = p
+			}
+		}
+	}
+	return prov, nil
+}
+
+// sortStations sorts a small station slice in place (insertion sort: walk
+// sets are tiny).
+func sortStations(s []timetable.StationID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// rowSearcher adapts a pooled workspace to dtable's per-worker searcher:
+// each Build/Repair worker owns one, so the O(n·k) search arrays are reused
+// across all rows the worker processes, and Close returns the workspace to
+// the package pool.
+type rowSearcher struct {
+	ws         *Workspace
+	g          *graph.Graph
+	opts       Options
+	provenance bool
+}
+
+// provRowResult is the search result when provenance extraction is on; it
+// implements dtable.RowProvenancer.
+type provRowResult struct {
+	s   *rowSearcher
+	res *ProfileResult
+}
+
+func (r provRowResult) StationProfile(t timetable.StationID) (*ttf.Function, error) {
+	return r.res.StationProfile(t)
+}
+
+func (r provRowResult) RowProvenance(targets []timetable.StationID) (*dtable.RowProvenance, error) {
+	return r.s.ws.rowProvenance(r.res, targets)
+}
+
+func (s *rowSearcher) Search(source timetable.StationID) (dtable.StationProfiler, error) {
+	res, err := s.ws.OneToAll(s.g, source, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	if s.provenance {
+		return provRowResult{s: s, res: res}, nil
+	}
+	return res, nil
+}
+
+// SearchWindow runs the interval profile search (departures in [from, to])
+// for dtable's windowed row repair. Repair results never carry provenance
+// (repaired tables are derived), so the plain result is returned.
+func (s *rowSearcher) SearchWindow(source timetable.StationID, from, to timeutil.Ticks) (dtable.StationProfiler, error) {
+	return s.ws.OneToAllWindow(s.g, source, from, to, s.opts)
+}
+
+func (s *rowSearcher) Close() { PutWorkspace(s.ws) }
+
+// searchFactory returns the dtable worker factory over pooled workspaces.
+// With provenance on, searches track parent links (needed for the Used
+// sweep) and results implement dtable.RowProvenancer.
+func searchFactory(g *graph.Graph, opts Options, provenance bool) dtable.SearchFactory {
+	if provenance {
+		opts.TrackParents = true
+	}
+	return func() (dtable.RowSearcher, error) {
+		return &rowSearcher{ws: GetWorkspace(), g: g, opts: opts, provenance: provenance}, nil
+	}
+}

@@ -134,7 +134,7 @@ func TestRandomNetworksStationToStation(t *testing.T) {
 		for i := range marked {
 			marked[i] = rng.Intn(3) == 0
 		}
-		pre, err := BuildDistanceTable(g, marked, Options{}, 1)
+		pre, err := BuildDistanceTable(g, marked, Options{}, 1, false)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -69,6 +69,10 @@ type Workspace struct {
 	// Partition boundary buffer.
 	bounds []int
 
+	// Provenance-extraction scratch: visited stamps for the parent-chain
+	// sweep (internal/dtable repair provenance), sized like the label store.
+	provGen []uint32
+
 	// Per-thread search scratch, one entry per worker.
 	workers   []*workerSpace
 	spcsBuf   []spcsWorker
@@ -141,6 +145,7 @@ func (ws *Workspace) begin() uint32 {
 		wipe(ws.nodeArrGen)
 		wipe(ws.nodeSetGen)
 		wipe(ws.aboardGen)
+		wipe(ws.provGen)
 		for _, w := range ws.workers {
 			wipe(w.settledGen)
 			wipe(w.maxconnGen)

@@ -26,7 +26,7 @@ func fixture(t *testing.T) (*graph.Graph, *dtable.Table, []timetable.StationID) 
 	g := graph.Build(tt)
 	sg := stationgraph.Build(tt)
 	marked := sg.SelectByContraction(8)
-	pre, err := core.BuildDistanceTable(g, marked, core.Options{}, 2)
+	pre, err := core.BuildDistanceTable(g, marked, core.Options{}, 2, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,14 +112,27 @@ func TestTablePanicsOnNonTransfer(t *testing.T) {
 	table.D(ts[0], nonTransfer, 100)
 }
 
+// stubSearcher satisfies dtable.RowSearcher for tests that never search.
+type stubSearcher struct{}
+
+func (stubSearcher) Search(timetable.StationID) (dtable.StationProfiler, error) {
+	panic("stub searcher used")
+}
+func (stubSearcher) Close() {}
+
+func stubFactory() (dtable.RowSearcher, error) { return stubSearcher{}, nil }
+
 func TestBuildValidation(t *testing.T) {
-	if _, err := dtable.Build(timeutil.NewPeriod(1440), 5, []bool{true}, 1, nil); err == nil {
+	if _, err := dtable.Build(timeutil.NewPeriod(1440), 5, 0, 0, []bool{true}, 1, stubFactory); err == nil {
 		t.Fatal("mismatched isTransfer length accepted")
+	}
+	if _, err := dtable.Build(timeutil.NewPeriod(1440), 1, 0, 0, []bool{true}, 1, nil); err == nil {
+		t.Fatal("nil factory accepted")
 	}
 }
 
 func TestBuildEmptySelection(t *testing.T) {
-	table, err := dtable.Build(timeutil.NewPeriod(1440), 3, []bool{false, false, false}, 1, nil)
+	table, err := dtable.Build(timeutil.NewPeriod(1440), 3, 0, 0, []bool{false, false, false}, 1, stubFactory)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,229 @@
+package dtable
+
+import (
+	"sort"
+
+	"transit/internal/timetable"
+	"transit/internal/timeutil"
+)
+
+// ReachBuckets is the number of time buckets the period is divided into for
+// the per-route reachability bitmaps of RowProvenance.
+const ReachBuckets = 256
+
+// reachWords is the uint64 words per route in RowProvenance.Reach.
+const reachWords = ReachBuckets / 64
+
+// RowProvenance is the compact per-row summary recorded during Build that
+// lets Repair decide whether a delay batch can change the row at all. Three
+// facts are kept, each covering one way a batch can alter the row's reduced
+// profile functions:
+//
+//   - Used: a bitmap over trains, set for every train ridden by the
+//     parent-chain journey of any settled label at any transfer target. If
+//     a batch touches no used train, every recorded optimal journey of the
+//     row survives with unchanged times, so the row cannot get *worse*.
+//
+//   - Reach: per route, a ReachBuckets-bucket bitmap (over the period) of
+//     the settled arrival times at the route's ride-edge tail nodes — the
+//     boarding-readiness times achievable from the row's source. A retimed
+//     connection can make some journey *better* only if such a readiness
+//     time falls inside its improvement arc (see TouchedConn.OldDep): ride
+//     edges evaluate to the minimum arrival over their member connections,
+//     and moving one member's departure improves that minimum only for
+//     readiness values the move newly covers and no other member serves as
+//     well. If no retimed connection's arc intersects the row's readiness
+//     buckets for its route, the row cannot get *better*.
+//
+//   - Walk: the walk-reachable station set of the source (including the
+//     source itself). The row's profile seeds are the outgoing connections
+//     of exactly these stations, so touching one of their connections
+//     changes the seed list and always dirties the row.
+//
+// The summaries describe the network the search ran against. Rows kept by a
+// Repair were proven unchanged as *entries*, but journeys they did not use
+// may have shifted, so their Reach bitmaps are stale for the patched
+// network; repaired tables are therefore marked derived and cannot serve as
+// the base of a further Repair (see Table.Derived).
+type RowProvenance struct {
+	// Used is a bitmap over train IDs: bit z set means a recorded optimal
+	// journey of this row rides train z.
+	Used []uint64
+	// Reach holds reachWords words per route: the bucket bitmap of settled
+	// boarding-readiness times at route r's ride-edge tail nodes occupies
+	// Reach[r*reachWords : (r+1)*reachWords].
+	Reach []uint64
+	// Walk lists the walk-reachable seed stations of the row's source in
+	// increasing ID order (always contains the source).
+	Walk []timetable.StationID
+}
+
+// usedTrain reports whether bit z is set in the Used bitmap.
+func (p *RowProvenance) usedTrain(z timetable.TrainID) bool {
+	w := int(z) / 64
+	return w < len(p.Used) && p.Used[w]&(1<<(uint(z)%64)) != 0
+}
+
+// walksTo reports whether s is in the row's (sorted) walk-seed set.
+func (p *RowProvenance) walksTo(s timetable.StationID) bool {
+	i := sort.Search(len(p.Walk), func(i int) bool { return p.Walk[i] >= s })
+	return i < len(p.Walk) && p.Walk[i] == s
+}
+
+// TouchedConn describes one connection changed by a dynamic-update batch,
+// relative to the network a repair base table was built for: the departure
+// it had then (OldDep) and the departure it has now (NewDep), or Cancelled.
+// Batches spanning several epochs compose by keeping the first OldDep and
+// the last NewDep per connection (transit.MergeTouched).
+//
+// The forward circular arc (OldDep, NewDep] is the connection's
+// *improvement arc*: the only boarding-readiness window in which the
+// retiming can make any journey faster (see RowProvenance). Callers may
+// tighten the arc before a Repair by setting Refined and ArcFrom to the
+// latest alternative departure on the same ride edge that dominates the
+// moved connection (core.RefineTouched); an empty arc (ArcFrom == NewDep)
+// means the change can only slow journeys down, which the Used test
+// covers. The tightening applies to the improvement test ONLY: the repair
+// windows (which must also cover journeys that rode the connection at its
+// old time and got slower) always anchor at the original OldDep.
+type TouchedConn struct {
+	Conn      timetable.ConnID
+	Train     timetable.TrainID
+	Route     timetable.RouteID
+	From      timetable.StationID
+	OldDep    timeutil.Ticks
+	NewDep    timeutil.Ticks
+	Cancelled bool
+	// ArcFrom is the tightened exclusive lower bound of the improvement
+	// arc, meaningful only when Refined is set; the arc is then
+	// (ArcFrom, NewDep] instead of (OldDep, NewDep].
+	ArcFrom timeutil.Ticks
+	Refined bool
+}
+
+// arcFrom returns the improvement arc's exclusive lower bound.
+func (tc *TouchedConn) arcFrom() timeutil.Ticks {
+	if tc.Refined {
+		return tc.ArcFrom
+	}
+	return tc.OldDep
+}
+
+// bucketOf maps a time point of the period to its ReachBuckets bucket.
+func bucketOf(period timeutil.Period, t timeutil.Ticks) int {
+	b := int(period.Wrap(t)) * ReachBuckets / int(period.Len())
+	if b >= ReachBuckets { // defensive: Wrap keeps t < period
+		b = ReachBuckets - 1
+	}
+	return b
+}
+
+// arcMask fills mask (reachWords words) with the buckets of the forward
+// circular arc (oldDep, newDep], rounded outward to bucket boundaries (both
+// endpoint buckets included, so quantization only over-approximates). An
+// empty arc (oldDep == newDep) clears the mask and returns false.
+func arcMask(period timeutil.Period, oldDep, newDep timeutil.Ticks, mask *[reachWords]uint64) bool {
+	*mask = [reachWords]uint64{}
+	od, nd := period.Wrap(oldDep), period.Wrap(newDep)
+	if od == nd {
+		return false
+	}
+	b0, b1 := bucketOf(period, od), bucketOf(period, nd)
+	setRange := func(lo, hi int) { // inclusive bucket range
+		for b := lo; b <= hi; b++ {
+			mask[b/64] |= 1 << (uint(b) % 64)
+		}
+	}
+	if b0 <= b1 {
+		setRange(b0, b1)
+	} else {
+		setRange(b0, ReachBuckets-1)
+		setRange(0, b1)
+	}
+	return true
+}
+
+// touchProbe is the precomputed per-connection dirty test of one batch.
+type touchProbe struct {
+	train  timetable.TrainID
+	route  timetable.RouteID
+	from   timetable.StationID
+	arc    [reachWords]uint64 // zero except for retimed (non-cancelled) conns
+	hasArc bool
+}
+
+// dirtyCauses breaks a dirty set down by the first rule that fired per row
+// — which provenance fact would have to be tightened to shrink the repair.
+type dirtyCauses struct {
+	used int // a touched train is ridden by a recorded optimal journey
+	seed int // a touched connection departs a walk-seed station of the row
+	arc  int // a retimed connection's improvement arc hits reachable readiness times
+}
+
+// dirtyRows returns the indexes of the rows a batch can change, or
+// ErrRepairFallback-wrapped errors when the table cannot answer that
+// (missing provenance, derived table, foreign train/route IDs).
+func (t *Table) dirtyRows(touched []TouchedConn) ([]int, dirtyCauses, error) {
+	var causes dirtyCauses
+	if t.derived {
+		return nil, causes, errDerived
+	}
+	if t.numRoutes <= 0 || t.numTrains <= 0 || len(t.prov) != len(t.stations) {
+		return nil, causes, errNoProvenance
+	}
+	probes := make([]touchProbe, 0, len(touched))
+	for _, tc := range touched {
+		if int(tc.Route) < 0 || int(tc.Route) >= t.numRoutes ||
+			int(tc.Train) < 0 || int(tc.Train) >= t.numTrains {
+			return nil, causes, errForeignID
+		}
+		p := touchProbe{train: tc.Train, route: tc.Route, from: tc.From}
+		if !tc.Cancelled {
+			p.hasArc = arcMask(t.period, tc.arcFrom(), tc.NewDep, &p.arc)
+		}
+		probes = append(probes, p)
+	}
+	var dirty []int
+	for i, prov := range t.prov {
+		if prov == nil {
+			dirty = append(dirty, i)
+			continue
+		}
+		cause := 0
+		for pi := range probes {
+			p := &probes[pi]
+			if prov.usedTrain(p.train) {
+				cause = 1
+				break
+			}
+			if prov.walksTo(p.from) {
+				cause = 2
+				break
+			}
+			if p.hasArc {
+				reach := prov.Reach[int(p.route)*reachWords : (int(p.route)+1)*reachWords]
+				for w := 0; w < reachWords; w++ {
+					if reach[w]&p.arc[w] != 0 {
+						cause = 3
+						break
+					}
+				}
+				if cause != 0 {
+					break
+				}
+			}
+		}
+		switch cause {
+		case 1:
+			causes.used++
+		case 2:
+			causes.seed++
+		case 3:
+			causes.arc++
+		default:
+			continue
+		}
+		dirty = append(dirty, i)
+	}
+	return dirty, causes, nil
+}

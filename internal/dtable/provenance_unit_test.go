@@ -1,0 +1,112 @@
+package dtable
+
+// White-box tests of the repair-window and improvement-arc helpers (the
+// package-external tests cover Build/Repair end to end through core).
+
+import (
+	"testing"
+
+	"transit/internal/timeutil"
+	"transit/internal/ttf"
+)
+
+func buckets(mask [reachWords]uint64) []int {
+	var out []int
+	for b := 0; b < ReachBuckets; b++ {
+		if mask[b/64]&(1<<(uint(b)%64)) != 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func TestArcMask(t *testing.T) {
+	period := timeutil.NewPeriod(1440)
+	var m [reachWords]uint64
+
+	if arcMask(period, 100, 100, &m) {
+		t.Fatal("empty arc must clear the mask")
+	}
+	// Forward arc within one period: both endpoint buckets included.
+	if !arcMask(period, 100, 112, &m) {
+		t.Fatal("non-empty arc reported empty")
+	}
+	b0, b1 := bucketOf(period, 100), bucketOf(period, 112)
+	got := buckets(m)
+	if len(got) != b1-b0+1 || got[0] != b0 || got[len(got)-1] != b1 {
+		t.Fatalf("arc buckets = %v, want contiguous [%d..%d]", got, b0, b1)
+	}
+	// Wrapping arc (e.g. a delay crossing midnight): crosses bucket 0.
+	if !arcMask(period, 1435, 5, &m) {
+		t.Fatal("wrapping arc reported empty")
+	}
+	got = buckets(m)
+	if len(got) != 2 || got[0] != 0 || got[1] != ReachBuckets-1 {
+		t.Fatalf("wrapping arc buckets = %v, want [0 %d]", got, ReachBuckets-1)
+	}
+}
+
+func TestRepairWindowClusters(t *testing.T) {
+	period := timeutil.NewPeriod(1440)
+	// Two disruptions far apart cluster into two windows with look-back.
+	ivs, ok := repairWindow(period, []timeutil.Ticks{500, 510, 900}, 100, 1000)
+	if !ok || len(ivs) != 2 {
+		t.Fatalf("ivs = %v ok=%v, want two clusters", ivs, ok)
+	}
+	if ivs[0] != (winInterval{400, 510}) || ivs[1] != (winInterval{800, 900}) {
+		t.Fatalf("ivs = %v", ivs)
+	}
+	// A cluster whose look-back crosses midnight splits into two pieces.
+	ivs, ok = repairWindow(period, []timeutil.Ticks{30}, 100, 1000)
+	if !ok || len(ivs) != 2 || ivs[0] != (winInterval{0, 30}) || ivs[1] != (winInterval{1370, 1439}) {
+		t.Fatalf("wrapped ivs = %v ok=%v", ivs, ok)
+	}
+	// ... and merges circularly with a late cluster it overlaps.
+	ivs, ok = repairWindow(period, []timeutil.Ticks{30, 1400}, 100, 1000)
+	if !ok || len(ivs) != 2 || ivs[0] != (winInterval{0, 30}) || ivs[1] != (winInterval{1300, 1439}) {
+		t.Fatalf("circularly merged ivs = %v ok=%v", ivs, ok)
+	}
+	// Exceeding the width budget falls back.
+	if _, ok := repairWindow(period, []timeutil.Ticks{100, 500, 900, 1300}, 200, 700); ok {
+		t.Fatal("over-budget window accepted")
+	}
+	if _, ok := repairWindow(period, nil, 100, 1000); ok {
+		t.Fatal("empty dep set accepted")
+	}
+}
+
+func TestRowMaxSpan(t *testing.T) {
+	period := timeutil.NewPeriod(1440)
+	f := ttf.MustNew(period, []ttf.Point{{Dep: 100, W: 30}, {Dep: 700, W: 50}})
+	// Gap before 700 is 600, plus W 50; wrap gap before 100 is 840, plus 30.
+	if got := rowMaxSpan(period, []*ttf.Function{f}); got != 870 {
+		t.Fatalf("rowMaxSpan = %d, want 870", got)
+	}
+	empty := ttf.MustNew(period, nil)
+	if got := rowMaxSpan(period, []*ttf.Function{empty}); got != 0 {
+		t.Fatalf("rowMaxSpan(empty) = %d, want 0", got)
+	}
+}
+
+func TestSpliceProfile(t *testing.T) {
+	period := timeutil.NewPeriod(1440)
+	oldF := ttf.MustNew(period, []ttf.Point{{Dep: 100, W: 30}, {Dep: 500, W: 40}, {Dep: 900, W: 30}})
+	oldF.Reduce()
+	// Window [450, 600]: the 500 point is replaced by a faster 510 one.
+	winF := ttf.MustNew(period, []ttf.Point{{Dep: 510, W: 20}})
+	got, err := spliceProfile(period, oldF, []*ttf.Function{winF}, []winInterval{{450, 600}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ttf.MustNew(period, []ttf.Point{{Dep: 100, W: 30}, {Dep: 510, W: 20}, {Dep: 900, W: 30}})
+	want.Reduce()
+	gp, wp := got.Points(), want.Points()
+	if len(gp) != len(wp) {
+		t.Fatalf("spliced = %v, want %v", gp, wp)
+	}
+	for i := range gp {
+		if gp[i] != wp[i] {
+			t.Fatalf("spliced = %v, want %v", gp, wp)
+		}
+	}
+}

@@ -42,12 +42,24 @@
 //     only). Correct, no extra work; queries are slower until the operator
 //     re-preprocesses.
 //   - ReprocessAsync (default for served deployments): swap the unpruned
-//     snapshot in immediately, rebuild the table in the background, and
+//     snapshot in immediately, restore the table in the background, and
 //     re-swap a preprocessed network under the same epoch when it is
-//     ready. If a newer update lands first, the stale rebuild is discarded
+//     ready. If a newer update lands first, the stale result is discarded
 //     (epoch check under the writer mutex).
-//   - ReprocessSync: rebuild the table before the swap. Updates block for
-//     the preprocessing time but every served snapshot is always pruned.
+//   - ReprocessSync: restore the table before the swap. Updates block for
+//     the re-preprocessing time but every served snapshot is always pruned.
+//
+// Restoring the table is incremental whenever possible: the registry
+// keeps the last fully built network as the *repair base* and accumulates
+// the touched connections of every applied batch against it
+// (transit.MergeTouched); re-preprocessing then calls
+// transit.Repreprocess, which recomputes only the table rows the
+// accumulated updates can affect — typically over a bounded departure
+// window via the interval search — and falls back to a full rebuild
+// (which resets the base and the pending set) when the dirty fraction
+// crosses Options.RepairMaxDirty or no usable base exists. See
+// docs/PREPROCESSING.md for the provenance model and the soundness
+// argument, and Metrics for the repair/rebuild counters tpserver exports.
 //
 // The station graph, unlike the table, survives updates: delays never
 // change connectivity and cancellations only shrink it, and a conservative

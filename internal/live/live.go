@@ -100,12 +100,27 @@ type Registry struct {
 	rebuilding  bool          // an async re-preprocess goroutine is alive (under mu)
 	persistStop chan struct{} // closes the StartPersist loop (set under mu)
 
+	// Incremental-repair state (under mu): base is the last network whose
+	// distance table was fully built with fresh provenance — the only valid
+	// starting point of a table repair — and pending accumulates the
+	// touched connections of every update applied since, composed with
+	// transit.MergeTouched. A repair recomputes base-dirty rows and leaves
+	// base and pending in place (the repaired table cannot seed further
+	// repairs); a full rebuild — forced when the pending set dirties too
+	// much of the table — resets both.
+	base    *transit.Network
+	pending []transit.TouchedConn
+
 	updates          atomic.Uint64
 	connsRetimed     atomic.Uint64
 	connsCancelled   atomic.Uint64
 	lastUpdateMicros atomic.Int64
 	reprocessed      atomic.Uint64
 	reprocessErrors  atomic.Uint64
+	repairs          atomic.Uint64
+	rowsRepaired     atomic.Uint64
+	fullRebuilds     atomic.Uint64
+	lastReproMicros  atomic.Int64
 	persists         atomic.Uint64
 	persistErrors    atomic.Uint64
 	persistedKey     atomic.Int64 // persistKey of the last PersistFile write; 0 = none
@@ -116,7 +131,17 @@ type Registry struct {
 func NewRegistry(net *transit.Network, cfg Config) *Registry {
 	r := &Registry{cfg: cfg}
 	r.cur.Store(&Snapshot{Net: net, Created: time.Now()})
+	r.initBase(net)
 	return r
+}
+
+// initBase seeds the repair base when the starting network's table can back
+// incremental repairs (built by this process, or restored from a snapshot
+// carrying the provenance section).
+func (r *Registry) initBase(net *transit.Network) {
+	if net.TableRepairable() {
+		r.base = net
+	}
 }
 
 // Snapshot returns the current snapshot: a single atomic load, wait-free,
@@ -143,14 +168,19 @@ func (r *Registry) Apply(ops []transit.DelayOp) (*Snapshot, *transit.UpdateStats
 		return cur, st, nil // no-op batch: nothing changed, epoch stays
 	}
 	if r.cfg.Policy == ReprocessSync {
-		pre, ps, err := next.Preprocess(r.cfg.Selection, r.cfg.Options)
+		pending := transit.MergeTouched(r.pending, st.Touched)
+		pre, ps, err := next.Repreprocess(r.base, pending, r.cfg.Selection, r.cfg.Options)
 		if err != nil {
 			r.reprocessErrors.Add(1)
 			return nil, nil, fmt.Errorf("%w: %v", ErrReprocess, err)
 		}
-		r.reprocessed.Add(1)
-		r.logf("live: epoch %d re-preprocessed synchronously (%d transfer stations in %v)",
-			cur.Epoch+1, ps.TransferStations, ps.Elapsed)
+		r.pending = pending
+		r.noteRepreprocess(ps)
+		if ps.FullRebuild {
+			r.base, r.pending = pre, nil
+		}
+		r.logf("live: epoch %d re-preprocessed synchronously (%s in %v)",
+			cur.Epoch+1, repairDesc(ps), ps.Elapsed)
 		next = pre
 	}
 	snap := &Snapshot{Net: next, Epoch: cur.Epoch + 1, Created: time.Now()}
@@ -159,46 +189,85 @@ func (r *Registry) Apply(ops []transit.DelayOp) (*Snapshot, *transit.UpdateStats
 	r.connsRetimed.Add(uint64(st.ConnsRetimed))
 	r.connsCancelled.Add(uint64(st.ConnsCancelled))
 	r.lastUpdateMicros.Store(time.Since(start).Microseconds())
-	if r.cfg.Policy == ReprocessAsync && !r.rebuilding {
-		// At most one rebuild goroutine is alive; it rolls forward to the
-		// newest epoch by itself, so a delay feed faster than the
-		// preprocessing time coalesces instead of piling up rebuilds.
-		r.rebuilding = true
-		r.wg.Add(1)
-		go r.reprocess(snap)
+	if r.cfg.Policy == ReprocessAsync {
+		r.pending = transit.MergeTouched(r.pending, st.Touched)
+		if !r.rebuilding {
+			// At most one rebuild goroutine is alive; it rolls forward to the
+			// newest epoch by itself, so a delay feed faster than the
+			// re-preprocessing time coalesces instead of piling up rebuilds.
+			r.rebuilding = true
+			r.wg.Add(1)
+			go r.reprocess(snap)
+		}
 	}
 	return snap, st, nil
 }
 
-// reprocess rebuilds the distance table for snap in the background and, if
-// snap is still current, swaps in the preprocessed network under the same
-// epoch. When newer updates landed during the rebuild, the stale result is
-// discarded and the loop continues with the now-current snapshot, so
-// intermediate epochs are skipped rather than each spawning a rebuild.
+// noteRepreprocess updates the re-preprocessing counters for one successful
+// repair or rebuild.
+func (r *Registry) noteRepreprocess(ps *transit.PreprocessStats) {
+	r.reprocessed.Add(1)
+	r.lastReproMicros.Store(ps.Elapsed.Microseconds())
+	if ps.FullRebuild {
+		r.fullRebuilds.Add(1)
+	} else {
+		r.repairs.Add(1)
+		r.rowsRepaired.Add(uint64(ps.RowsRepaired))
+	}
+}
+
+// repairDesc renders a re-preprocessing outcome for the log.
+func repairDesc(ps *transit.PreprocessStats) string {
+	if !ps.FullRebuild {
+		return fmt.Sprintf("repaired %d/%d rows", ps.RowsRepaired, ps.Rows)
+	}
+	if ps.Fallback != "" {
+		return fmt.Sprintf("full rebuild of %d rows: %s", ps.Rows, ps.Fallback)
+	}
+	return fmt.Sprintf("full rebuild of %d rows", ps.Rows)
+}
+
+// reprocess restores snap's distance table in the background — repairing
+// the last fully built base table when the accumulated touched set dirties
+// few enough rows, rebuilding from scratch otherwise — and, if snap is
+// still current, swaps in the preprocessed network under the same epoch.
+// When newer updates landed during the work, the stale result is discarded
+// and the loop continues with the now-current snapshot, so intermediate
+// epochs are skipped rather than each spawning a rebuild.
 func (r *Registry) reprocess(snap *Snapshot) {
 	defer r.wg.Done()
 	for {
-		pre, ps, err := snap.Net.Preprocess(r.cfg.Selection, r.cfg.Options)
+		r.mu.Lock()
+		base, pending := r.base, r.pending
+		r.mu.Unlock()
+		pre, ps, err := snap.Net.Repreprocess(base, pending, r.cfg.Selection, r.cfg.Options)
 		r.mu.Lock()
 		cur := r.cur.Load()
 		if err != nil {
 			r.reprocessErrors.Add(1)
 			r.logf("live: async re-preprocess of epoch %d failed: %v", snap.Epoch, err)
 		} else if cur.Epoch == snap.Epoch {
+			// Any Apply since the attempt started would have bumped the
+			// epoch, so base and pending are exactly what the result
+			// consumed: a full rebuild becomes the new repair base.
+			r.noteRepreprocess(ps)
+			if ps.FullRebuild {
+				r.base, r.pending = pre, nil
+			}
 			r.cur.Store(&Snapshot{Net: pre, Epoch: snap.Epoch, Created: snap.Created})
-			r.reprocessed.Add(1)
-			r.logf("live: epoch %d re-preprocessed (%d transfer stations in %v)",
-				snap.Epoch, ps.TransferStations, ps.Elapsed)
+			r.logf("live: epoch %d re-preprocessed (%s in %v)",
+				snap.Epoch, repairDesc(ps), ps.Elapsed)
 			cur = r.cur.Load()
 		}
 		if r.closed || cur.Epoch == snap.Epoch {
-			// Done: either this rebuild landed (or failed) for the epoch
+			// Done: either this result landed (or failed) for the epoch
 			// still being served, or the registry is draining.
 			r.rebuilding = false
 			r.mu.Unlock()
 			return
 		}
-		// Superseded while rebuilding: roll forward to the current epoch.
+		// Superseded while re-preprocessing: roll forward to the current
+		// epoch (the next attempt reads the grown pending set).
 		snap = cur
 		r.mu.Unlock()
 	}
@@ -236,23 +305,35 @@ type Metrics struct {
 	LastUpdate       time.Duration
 	ReprocessedTotal uint64
 	ReprocessErrors  uint64
-	PersistsTotal    uint64
-	PersistErrors    uint64
+	// Incremental distance-table repair: how many re-preprocessing runs
+	// were repairs vs. full rebuilds (RepairsTotal + FullRebuildsTotal =
+	// ReprocessedTotal), the total rows the repairs recomputed, and the
+	// duration of the last run of either kind.
+	RepairsTotal      uint64
+	RowsRepairedTotal uint64
+	FullRebuildsTotal uint64
+	LastReprocess     time.Duration
+	PersistsTotal     uint64
+	PersistErrors     uint64
 }
 
 // Metrics reads the counters (wait-free).
 func (r *Registry) Metrics() Metrics {
 	snap := r.Snapshot()
 	return Metrics{
-		Epoch:            snap.Epoch,
-		Preprocessed:     snap.Preprocessed(),
-		UpdatesTotal:     r.updates.Load(),
-		ConnsRetimed:     r.connsRetimed.Load(),
-		ConnsCancelled:   r.connsCancelled.Load(),
-		LastUpdate:       time.Duration(r.lastUpdateMicros.Load()) * time.Microsecond,
-		ReprocessedTotal: r.reprocessed.Load(),
-		ReprocessErrors:  r.reprocessErrors.Load(),
-		PersistsTotal:    r.persists.Load(),
-		PersistErrors:    r.persistErrors.Load(),
+		Epoch:             snap.Epoch,
+		Preprocessed:      snap.Preprocessed(),
+		UpdatesTotal:      r.updates.Load(),
+		ConnsRetimed:      r.connsRetimed.Load(),
+		ConnsCancelled:    r.connsCancelled.Load(),
+		LastUpdate:        time.Duration(r.lastUpdateMicros.Load()) * time.Microsecond,
+		ReprocessedTotal:  r.reprocessed.Load(),
+		ReprocessErrors:   r.reprocessErrors.Load(),
+		RepairsTotal:      r.repairs.Load(),
+		RowsRepairedTotal: r.rowsRepaired.Load(),
+		FullRebuildsTotal: r.fullRebuilds.Load(),
+		LastReprocess:     time.Duration(r.lastReproMicros.Load()) * time.Microsecond,
+		PersistsTotal:     r.persists.Load(),
+		PersistErrors:     r.persistErrors.Load(),
 	}
 }

@@ -253,3 +253,96 @@ func TestParsePolicy(t *testing.T) {
 		t.Error("bogus policy accepted")
 	}
 }
+
+// TestSyncRepair: with a repairable base table, the sync policy repairs
+// incrementally on every batch (accumulating touches against the base) and
+// never falls back to a full rebuild.
+func TestSyncRepair(t *testing.T) {
+	sel := transit.TransferSelection{Fraction: 1}
+	opt := transit.Options{RepairMaxDirty: 1}
+	n, _, err := hourlyNetwork(t).Preprocess(sel, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.TableRepairable() {
+		t.Fatal("fresh preprocessing must be a repair base")
+	}
+	r := NewRegistry(n, Config{Policy: ReprocessSync, Selection: sel, Options: opt})
+	snap, _, err := r.Apply([]transit.DelayOp{{Train: "ab08", Delay: 15}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Preprocessed() {
+		t.Fatal("sync repair served an unpruned snapshot")
+	}
+	if got := arrival(t, snap.Net, 0, 1, 480); got != 525 {
+		t.Fatalf("post-delay arrival %d, want 525", got)
+	}
+	snap, _, err = r.Apply([]transit.DelayOp{{Train: "ab09", Delay: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := arrival(t, snap.Net, 0, 1, 540); got != 575 {
+		t.Fatalf("second-delay arrival %d, want 575", got)
+	}
+	m := r.Metrics()
+	if m.RepairsTotal != 2 || m.FullRebuildsTotal != 0 || m.ReprocessedTotal != 2 {
+		t.Fatalf("want 2 repairs, 0 rebuilds: %+v", m)
+	}
+	if m.RowsRepairedTotal == 0 || m.LastReprocess <= 0 {
+		t.Fatalf("repair metrics empty: %+v", m)
+	}
+}
+
+// TestAsyncRepair: the async policy repairs in the background from the
+// boot-time base; the repaired table lands under the same epoch.
+func TestAsyncRepair(t *testing.T) {
+	sel := transit.TransferSelection{Fraction: 1}
+	opt := transit.Options{RepairMaxDirty: 1}
+	n, _, err := hourlyNetwork(t).Preprocess(sel, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry(n, Config{Policy: ReprocessAsync, Selection: sel, Options: opt})
+	if _, _, err := r.Apply([]transit.DelayOp{{Train: "ab08", Delay: 15}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !r.Snapshot().Preprocessed() {
+		if time.Now().After(deadline) {
+			t.Fatal("async repair never landed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cur := r.Snapshot()
+	if cur.Epoch != 1 {
+		t.Fatalf("repaired swap changed the epoch: %d", cur.Epoch)
+	}
+	if got := arrival(t, cur.Net, 0, 1, 480); got != 525 {
+		t.Fatalf("repaired snapshot answers differently: %d", got)
+	}
+	r.Close()
+	m := r.Metrics()
+	if m.RepairsTotal != 1 || m.FullRebuildsTotal != 0 {
+		t.Fatalf("want exactly one async repair: %+v", m)
+	}
+}
+
+// TestRepairEstablishesBase: booting without preprocessing, the first sync
+// re-preprocess is a full rebuild (no base) that establishes the repair
+// base; the second batch then repairs from it.
+func TestRepairEstablishesBase(t *testing.T) {
+	sel := transit.TransferSelection{Fraction: 0.5}
+	opt := transit.Options{RepairMaxDirty: 1}
+	r := NewRegistry(hourlyNetwork(t), Config{Policy: ReprocessSync, Selection: sel, Options: opt})
+	if _, _, err := r.Apply([]transit.DelayOp{{Train: "ab08", Delay: 15}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Apply([]transit.DelayOp{{Train: "ab09", Delay: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	m := r.Metrics()
+	if m.FullRebuildsTotal != 1 || m.RepairsTotal != 1 {
+		t.Fatalf("want rebuild-then-repair: %+v", m)
+	}
+}

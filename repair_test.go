@@ -1,0 +1,498 @@
+package transit
+
+// Tests of incremental distance-table repair (Repreprocess): the repaired
+// table must be *entry-identical* to a from-scratch Preprocess of the
+// patched network — the dirty-row analysis is a sound over-approximation,
+// so keeping a clean row must never change any answer.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"transit/internal/dtable"
+	"transit/internal/ttf"
+)
+
+// assertTablesEqual compares two distance tables entry by entry (reduced
+// connection points of every ordered transfer pair).
+func assertTablesEqual(t *testing.T, got, want *dtable.Table, ctx string) {
+	t.Helper()
+	gs, ws := got.Stations(), want.Stations()
+	if len(gs) != len(ws) {
+		t.Fatalf("%s: transfer sets differ: %d vs %d stations", ctx, len(gs), len(ws))
+	}
+	for i, s := range gs {
+		if s != ws[i] {
+			t.Fatalf("%s: transfer station %d differs: %d vs %d", ctx, i, s, ws[i])
+		}
+	}
+	for _, from := range gs {
+		for _, to := range gs {
+			gf, err := got.Profile(from, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wf, err := want.Profile(from, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !pointsEqual(gf, wf) {
+				t.Fatalf("%s: entry %d→%d differs:\n repaired: %v\n rebuilt:  %v",
+					ctx, from, to, gf.Points(), wf.Points())
+			}
+		}
+	}
+}
+
+func pointsEqual(a, b *ttf.Function) bool {
+	pa, pb := a.Points(), b.Points()
+	if len(pa) != len(pb) {
+		return false
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// randomOps draws a small batch of delay/cancellation ops — mostly
+// train-level (the realistic delay-feed shape), occasionally a windowed
+// route-level op, including negative delays.
+func randomOps(rng *rand.Rand, n *Network) []DelayOp {
+	tt := n.Timetable()
+	ops := make([]DelayOp, 0, 4)
+	for i := 0; i < 1+rng.Intn(4); i++ {
+		var op DelayOp
+		if rng.Intn(5) == 0 {
+			op.Routes = []int{rng.Intn(len(tt.Routes()))}
+			op.WindowFrom = Ticks(rng.Intn(1200))
+			op.WindowTo = op.WindowFrom + Ticks(30+rng.Intn(120))
+		} else {
+			op.Train = tt.Trains[rng.Intn(tt.NumTrains())].Name
+		}
+		switch rng.Intn(8) {
+		case 0:
+			op.Cancel = true
+		case 1:
+			op.Delay = -Ticks(1 + rng.Intn(15))
+		default:
+			op.Delay = Ticks(1 + rng.Intn(45))
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// TestRepairPropertyRandomBatches is the repair correctness property: apply
+// random delay/cancellation batches in sequence and assert, after every
+// batch, that repairing the original base table yields exactly the table a
+// full rebuild produces. RepairMaxDirty 1 forces the incremental path even
+// when a batch dirties many rows (fallbacks are tested separately).
+func TestRepairPropertyRandomBatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repair property test rebuilds tables repeatedly")
+	}
+	cases := []struct {
+		family string
+		scale  float64
+		frac   float64
+		seed   int64
+		rounds int
+	}{
+		{"oahu", 0.3, 0.15, 1, 5},
+		{"losangeles", 0.06, 0.10, 2, 4},
+		{"washington", 0.08, 0.12, 3, 4},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%s-%g", tc.family, tc.scale), func(t *testing.T) {
+			t.Parallel()
+			net, err := Generate(tc.family, tc.scale, tc.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sel := TransferSelection{Fraction: tc.frac}
+			opt := Options{RepairMaxDirty: 1}
+			base, _, err := net.Preprocess(sel, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !base.TableRepairable() {
+				t.Fatal("freshly preprocessed table must be repairable")
+			}
+			rng := rand.New(rand.NewSource(tc.seed * 101))
+			cur := base
+			var pending []TouchedConn
+			repairedTotal, windowedTotal, keptSome := 0, 0, false
+			for round := 0; round < tc.rounds; round++ {
+				next, st, err := cur.ApplyUpdates(randomOps(rng, cur))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if next == cur {
+					continue
+				}
+				pending = MergeTouched(pending, st.Touched)
+				rep, rst, err := next.Repreprocess(base, pending, sel, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rst.FullRebuild {
+					t.Fatalf("round %d: unexpected fallback: %s", round, rst.Fallback)
+				}
+				if rep.TableRepairable() {
+					t.Fatalf("round %d: repaired table must be derived", round)
+				}
+				full, _, err := next.Preprocess(sel, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertTablesEqual(t, rep.table, full.table, fmt.Sprintf("round %d", round))
+				t.Logf("round %d: %d/%d rows dirty (used %d, seed %d, arc %d), %d windowed, %d touched conns",
+					round, rst.RowsRepaired, rst.Rows, rst.DirtyByUsed, rst.DirtyBySeed, rst.DirtyByArc, rst.RowsWindowed, len(pending))
+				repairedTotal += rst.RowsRepaired
+				windowedTotal += rst.RowsWindowed
+				keptSome = keptSome || rst.RowsRepaired < rst.Rows
+				cur = rep
+			}
+			if repairedTotal == 0 {
+				t.Fatal("vacuous run: no batch dirtied any row")
+			}
+			// The incremental machinery must have bitten somewhere: either
+			// the dirty analysis kept rows, or dirty rows were recomputed
+			// over a bounded departure window instead of the full period.
+			if !keptSome && windowedTotal == 0 {
+				t.Error("vacuous run: every repair re-ran the full-period search on every row")
+			}
+		})
+	}
+}
+
+// newlyCatchableNet builds the canonical improvement edge case: t1 brings
+// you from A to B arriving 110 (ready to transfer at 112), t2 leaves B at
+// 109 — just missed — so A→C is only served by the slow direct t3.
+// Delaying t2 *creates* a transfer opportunity at a station t2 does not
+// even depart from A's perspective, and the A row uses neither t2's route
+// nor a changed seed: only the readiness-arc analysis can flag it.
+func newlyCatchableNet(t *testing.T) (*Network, StationID, StationID) {
+	t.Helper()
+	tb := NewTimetableBuilder(0)
+	a := tb.AddStation("A", 2)
+	b := tb.AddStation("B", 2)
+	c := tb.AddStation("C", 2)
+	if err := tb.AddTrain("t1", []StationID{a, b}, 100, []Ticks{10}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddTrain("t2", []StationID{b, c}, 109, []Ticks{10}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddTrain("t3", []StationID{a, c}, 100, []Ticks{200}, 0); err != nil {
+		t.Fatal(err)
+	}
+	net, err := tb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, a, c
+}
+
+// TestRepairNewlyCatchableConnection pins the edge case the dirty analysis
+// must not miss: a delayed departure becoming catchable mid-journey.
+func TestRepairNewlyCatchableConnection(t *testing.T) {
+	net, a, c := newlyCatchableNet(t)
+	sel := TransferSelection{Fraction: 1}
+	opt := Options{RepairMaxDirty: 1}
+	base, _, err := net.Preprocess(sel, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustEA(t, base, a, c, 100); got != 300 {
+		t.Fatalf("pre-delay A→C arrival = %d, want 300 (slow direct train)", got)
+	}
+	next, st, err := base.ApplyUpdates([]DelayOp{{Train: "t2", Delay: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, rst, err := next.Repreprocess(base, st.Touched, sel, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.FullRebuild {
+		t.Fatalf("unexpected fallback: %s", rst.Fallback)
+	}
+	if rst.RowsRepaired == 0 {
+		t.Fatal("newly-catchable connection dirtied no row")
+	}
+	full, _, err := next.Preprocess(sel, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, rep.table, full.table, "newly-catchable")
+	// The delayed t2 (dep 114 ≥ arrival 110 + transfer 2) opens A→t1→t2→C.
+	if got := mustEA(t, rep, a, c, 100); got != 124 {
+		t.Fatalf("post-delay A→C arrival = %d, want 124 (via newly catchable t2)", got)
+	}
+}
+
+// TestRepairCancellationOfUsedTrain covers the degradation direction: the
+// cancelled train carries the dominant journey, so the row must rebuild.
+func TestRepairCancellationOfUsedTrain(t *testing.T) {
+	net, a, c := newlyCatchableNet(t)
+	sel := TransferSelection{Fraction: 1}
+	opt := Options{RepairMaxDirty: 1}
+	base, _, err := net.Preprocess(sel, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, st, err := base.ApplyUpdates([]DelayOp{{Train: "t3", Cancel: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, rst, err := next.Repreprocess(base, st.Touched, sel, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.FullRebuild {
+		t.Fatalf("unexpected fallback: %s", rst.Fallback)
+	}
+	full, _, err := next.Preprocess(sel, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, rep.table, full.table, "cancel-used")
+	// Without t3, the best A→C departing 100 is t1 then *tomorrow's* t2
+	// (today's 109 run is just missed): 109 + 1440 + 10 = 1559.
+	if got := mustEA(t, rep, a, c, 100); got != 1559 {
+		t.Fatalf("A→C after cancelling the direct train = %d, want 1559", got)
+	}
+}
+
+func mustEA(t *testing.T, n *Network, from, to StationID, dep Ticks) Ticks {
+	t.Helper()
+	p, _, err := n.Profile(from, to, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.EarliestArrival(dep)
+}
+
+// TestRepreprocessFallbacks covers every path that must degrade to a full
+// rebuild: no base, a derived base, and a dirty fraction above threshold.
+func TestRepreprocessFallbacks(t *testing.T) {
+	net, _, _ := newlyCatchableNet(t)
+	sel := TransferSelection{Fraction: 1}
+	opt := Options{RepairMaxDirty: 1}
+	base, _, err := net.Preprocess(sel, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, st, err := base.ApplyUpdates([]DelayOp{{Train: "t2", Delay: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No base: full rebuild with the given selection.
+	pre, ps, err := next.Repreprocess(nil, st.Touched, sel, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ps.FullRebuild || ps.Fallback == "" || !pre.TableRepairable() {
+		t.Fatalf("nil base: want provenance-carrying full rebuild, got %+v", ps)
+	}
+
+	// Derived base: a repaired table cannot seed another repair.
+	rep, _, err := next.Repreprocess(base, st.Touched, sel, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next2, st2, err := rep.ApplyUpdates([]DelayOp{{Train: "t1", Delay: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reb2, ps2, err := next2.Repreprocess(rep, st2.Touched, sel, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ps2.FullRebuild || ps2.Fallback == "" {
+		t.Fatalf("derived base: want fallback full rebuild, got %+v", ps2)
+	}
+	full2, _, err := next2.Preprocess(sel, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, reb2.table, full2.table, "derived-base fallback rebuild")
+
+	// Dirty fraction above threshold (negative = always rebuild). The
+	// fallback reconstructs the transfer set from the base table, so its
+	// result must match a from-scratch Preprocess exactly.
+	reb3, ps3, err := next.Repreprocess(base, st.Touched, sel, Options{RepairMaxDirty: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ps3.FullRebuild || ps3.Fallback == "" {
+		t.Fatalf("threshold: want fallback full rebuild, got %+v", ps3)
+	}
+	full, _, err := next.Preprocess(sel, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, reb3.table, full.table, "threshold fallback rebuild")
+	assertTablesEqual(t, rep.table, full.table, "derived-serving")
+}
+
+func TestMergeTouched(t *testing.T) {
+	a := []TouchedConn{
+		{Conn: 1, Route: 0, From: 2, OldDep: 100, NewDep: 105},
+		{Conn: 2, Route: 1, From: 3, OldDep: 200, NewDep: 210},
+	}
+	b := []TouchedConn{
+		{Conn: 1, Route: 0, From: 2, OldDep: 105, NewDep: 100}, // back to original: net no-op
+		{Conn: 2, Route: 1, From: 3, OldDep: 210, NewDep: 220, Cancelled: true},
+		{Conn: 5, Route: 2, From: 4, OldDep: 50, NewDep: 60},
+	}
+	m := MergeTouched(a, b)
+	if len(m) != 2 {
+		t.Fatalf("merged = %+v, want conn 1 dropped", m)
+	}
+	if m[0].Conn != 2 || m[0].OldDep != 200 || !m[0].Cancelled {
+		t.Fatalf("conn 2 merged wrong: %+v", m[0])
+	}
+	if m[1].Conn != 5 || m[1].OldDep != 50 || m[1].NewDep != 60 {
+		t.Fatalf("conn 5 merged wrong: %+v", m[1])
+	}
+	// Cancellation is sticky across later merges.
+	m2 := MergeTouched(m, []TouchedConn{{Conn: 2, Route: 1, From: 3, OldDep: 220, NewDep: 230}})
+	if !m2[0].Cancelled {
+		t.Fatal("cancellation must be sticky")
+	}
+}
+
+// TestSnapshotProvenanceRoundTrip: a snapshot of a preprocessed network
+// carries the provenance section, so a restored server can repair instead
+// of rebuilding; a derived (repaired) table round-trips without it.
+func TestSnapshotProvenanceRoundTrip(t *testing.T) {
+	net, _, _ := newlyCatchableNet(t)
+	sel := TransferSelection{Fraction: 1}
+	opt := Options{RepairMaxDirty: 1}
+	base, _, err := net.Preprocess(sel, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := base.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.TableRepairable() {
+		t.Fatal("restored base table must be repairable")
+	}
+	// Repair from the *restored* base and compare against a rebuild.
+	next, st, err := loaded.ApplyUpdates([]DelayOp{{Train: "t2", Delay: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, rst, err := next.Repreprocess(loaded, st.Touched, sel, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.FullRebuild {
+		t.Fatalf("restored provenance: unexpected fallback %q", rst.Fallback)
+	}
+	full, _, err := next.Preprocess(sel, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, rep.table, full.table, "restored-base")
+
+	// Derived tables persist without provenance and are not repair bases.
+	buf.Reset()
+	if err := rep.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded2, _, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded2.Preprocessed() || loaded2.TableRepairable() {
+		t.Fatal("restored derived table must serve but not act as repair base")
+	}
+}
+
+// TestRepairWindowCoversDegradedFeederTransfers pins the regression found
+// in review: arc refinement (a same-edge alternative dominating the moved
+// train) must tighten only the improvement test, never the repair window's
+// look-back. Train x (M→C at 490) is delayed +40 onto its follower y (at
+// 530, same duration), so x's refined improvement arc is empty — but
+// feeder departures that rode x at its OLD time 490 still got worse. The
+// schedule is dense (20-min headways) so the dirty row is recomputed over
+// a window; a window anchored at the refined bound 530 instead of the
+// original 490 misses the degraded profile point at feeder departure 380.
+func TestRepairWindowCoversDegradedFeederTransfers(t *testing.T) {
+	tb := NewTimetableBuilder(0)
+	s := tb.AddStation("S", 2)
+	m := tb.AddStation("M", 2)
+	c := tb.AddStation("C", 2)
+	for k := 0; k < 72; k++ {
+		dep := Ticks(k * 20)
+		if err := tb.AddTrain(fmt.Sprintf("f%02d", k), []StationID{s, m}, dep, []Ticks{10}, 0); err != nil {
+			t.Fatal(err)
+		}
+		g := dep + 15
+		// Service gap before x: feeders from 380 on can only catch x at 490.
+		if g >= 395 && g <= 515 {
+			continue
+		}
+		if err := tb.AddTrain(fmt.Sprintf("g%02d", k), []StationID{m, c}, g, []Ticks{10}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tb.AddTrain("x", []StationID{m, c}, 490, []Ticks{10}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddTrain("y", []StationID{m, c}, 530, []Ticks{10}, 0); err != nil {
+		t.Fatal(err)
+	}
+	net, err := tb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := TransferSelection{Fraction: 1}
+	opt := Options{RepairMaxDirty: 1}
+	base, _, err := net.Preprocess(sel, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustEA(t, base, s, c, 380); got != 500 {
+		t.Fatalf("pre-delay S→C departing 380 arrives %d, want 500 (via x)", got)
+	}
+	next, st, err := base.ApplyUpdates([]DelayOp{{Train: "x", Delay: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, rst, err := next.Repreprocess(base, st.Touched, sel, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.FullRebuild {
+		t.Fatalf("unexpected fallback: %s", rst.Fallback)
+	}
+	if rst.RowsWindowed == 0 {
+		t.Fatal("scenario must exercise the windowed path (else the regression is masked)")
+	}
+	full, _, err := next.Preprocess(sel, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, rep.table, full.table, "degraded-feeder")
+	// x now leaves with y at 530: the 380 feeder departure arrives 540.
+	if got := mustEA(t, rep, s, c, 380); got != 540 {
+		t.Fatalf("post-delay S→C departing 380 arrives %d, want 540", got)
+	}
+}
