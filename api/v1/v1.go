@@ -1,0 +1,484 @@
+// Package apiv1 defines the wire types of the versioned /v1 JSON HTTP API
+// served by cmd/tpserver and emitted by cmd/tpquery -json: typed request
+// and response structs, the structured error envelope, and the translation
+// between them and the library's transit.Request / transit.Result.
+//
+// Keeping the types here — outside the server binary — gives every tool
+// one serialization path: a response printed by tpquery -json is
+// byte-compatible with the same query answered over HTTP.
+//
+// The wire format is specified in docs/API.md. Compatibility contract:
+// fields are only ever added to /v1 responses, never renamed or removed;
+// breaking changes get a new version prefix.
+package apiv1
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"transit"
+)
+
+// StationRef addresses a station by numeric ID or by exact name. On the
+// wire it is either a JSON number (the ID) or a JSON string (the name):
+//
+//	{"from": 12, "to": "losangeles-10-2"}
+type StationRef struct {
+	id     int
+	name   string
+	byName bool
+}
+
+// ByID returns a reference by numeric station ID.
+func ByID(id int) StationRef { return StationRef{id: id} }
+
+// ByName returns a reference by exact station name.
+func ByName(name string) StationRef { return StationRef{name: name, byName: true} }
+
+// UnmarshalJSON accepts a number (ID) or a string (name).
+func (s *StationRef) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var name string
+		if err := json.Unmarshal(b, &name); err != nil {
+			return err
+		}
+		*s = ByName(name)
+		return nil
+	}
+	var id int
+	if err := json.Unmarshal(b, &id); err != nil {
+		return fmt.Errorf("station reference must be a numeric ID or a name string")
+	}
+	*s = ByID(id)
+	return nil
+}
+
+// MarshalJSON renders the reference the way it was specified.
+func (s StationRef) MarshalJSON() ([]byte, error) {
+	if s.byName {
+		return json.Marshal(s.name)
+	}
+	return json.Marshal(s.id)
+}
+
+// Resolve maps the reference to a station of the network.
+func (s StationRef) Resolve(n *transit.Network, field string) (transit.StationID, error) {
+	if s.byName {
+		id, ok := n.StationByName(s.name)
+		if !ok {
+			return 0, &transit.Error{
+				Code: transit.CodeUnknownStation, Field: field,
+				Message: fmt.Sprintf("unknown station %q", s.name),
+			}
+		}
+		return id, nil
+	}
+	// Range validation happens in transit.Plan; pass the raw ID through.
+	return transit.StationID(s.id), nil
+}
+
+// PlanRequest is the JSON request body shared by every /v1 query endpoint.
+// The endpoint determines the request kind, so the body carries only the
+// kind's parameters; fields foreign to the endpoint's kind are rejected by
+// the library's request validation.
+type PlanRequest struct {
+	From    *StationRef  `json:"from,omitempty"`
+	To      *StationRef  `json:"to,omitempty"`
+	Sources []StationRef `json:"sources,omitempty"`
+	Targets []StationRef `json:"targets,omitempty"`
+	// Depart is a clock time "HH:MM" (or "D:HH:MM" for multi-day periods).
+	Depart string `json:"depart,omitempty"`
+	// WindowFrom / WindowTo restrict a one-to-all search.
+	WindowFrom string `json:"window_from,omitempty"`
+	WindowTo   string `json:"window_to,omitempty"`
+	// MaxTransfers is the pareto transfer budget.
+	MaxTransfers int `json:"max_transfers,omitempty"`
+}
+
+func missing(field string) error {
+	return &transit.Error{
+		Code: transit.CodeInvalidRequest, Field: field,
+		Message: fmt.Sprintf("missing required field %q", field),
+	}
+}
+
+func badTime(field, value string, err error) error {
+	return &transit.Error{
+		Code: transit.CodeBadTime, Field: field,
+		Message: fmt.Sprintf("bad time %q: %v", value, err),
+	}
+}
+
+// needsTo reports whether a kind requires a target station on the wire:
+// the single-pair kinds, plus pareto (whose frontier is evaluated toward
+// the target even though the search itself is one-to-all).
+func needsTo(kind transit.Kind) bool {
+	switch kind {
+	case transit.KindEarliestArrival, transit.KindJourney, transit.KindProfile, transit.KindPareto:
+		return true
+	}
+	return false
+}
+
+// Resolve translates the wire request into a transit.Request of the given
+// kind, resolving station references and parsing clock times. Execution
+// tuning (threads) is the server's, not the client's, so it arrives via
+// opt.
+func (p *PlanRequest) Resolve(n *transit.Network, kind transit.Kind, opt transit.Options) (transit.Request, error) {
+	req := transit.Request{Kind: kind, Options: opt, MaxTransfers: p.MaxTransfers}
+	var err error
+	switch kind {
+	case transit.KindMatrix:
+		if len(p.Sources) == 0 {
+			return req, missing("sources")
+		}
+		if len(p.Targets) == 0 {
+			return req, missing("targets")
+		}
+		req.Sources = make([]transit.StationID, len(p.Sources))
+		for i, s := range p.Sources {
+			if req.Sources[i], err = s.Resolve(n, "sources"); err != nil {
+				return req, err
+			}
+		}
+		req.Targets = make([]transit.StationID, len(p.Targets))
+		for i, t := range p.Targets {
+			if req.Targets[i], err = t.Resolve(n, "targets"); err != nil {
+				return req, err
+			}
+		}
+	default:
+		if p.From == nil {
+			return req, missing("from")
+		}
+		if req.From, err = p.From.Resolve(n, "from"); err != nil {
+			return req, err
+		}
+		if needsTo(kind) {
+			if p.To == nil {
+				return req, missing("to")
+			}
+			if req.To, err = p.To.Resolve(n, "to"); err != nil {
+				return req, err
+			}
+		}
+	}
+	if p.Depart != "" {
+		if req.Depart, err = transit.ParseClock(p.Depart); err != nil {
+			return req, badTime("depart", p.Depart, err)
+		}
+	}
+	if p.WindowFrom != "" || p.WindowTo != "" {
+		w := &transit.Window{}
+		if p.WindowFrom != "" {
+			if w.From, err = transit.ParseClock(p.WindowFrom); err != nil {
+				return req, badTime("window_from", p.WindowFrom, err)
+			}
+		}
+		if p.WindowTo != "" {
+			if w.To, err = transit.ParseClock(p.WindowTo); err != nil {
+				return req, badTime("window_to", p.WindowTo, err)
+			}
+		} else {
+			w.To = transit.Infinity
+		}
+		req.Window = w
+	}
+	return req, nil
+}
+
+// Station is the brief station echo used inside responses.
+type Station struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+}
+
+func station(n *transit.Network, id transit.StationID) Station {
+	return Station{ID: int(id), Name: n.Station(id).Name}
+}
+
+// StationInfo is the full station record of /v1/stations.
+type StationInfo struct {
+	ID          int     `json:"id"`
+	Name        string  `json:"name"`
+	TransferMin int     `json:"transfer_min"`
+	X           float64 `json:"x"`
+	Y           float64 `json:"y"`
+}
+
+// StationsResponse is the body of GET /v1/stations.
+type StationsResponse struct {
+	Stations []StationInfo `json:"stations"`
+}
+
+// NewStationsResponse lists every station of the network.
+func NewStationsResponse(n *transit.Network) *StationsResponse {
+	out := make([]StationInfo, n.NumStations())
+	for i := range out {
+		st := n.Station(transit.StationID(i))
+		out[i] = StationInfo{ID: int(st.ID), Name: st.Name, TransferMin: int(st.Transfer), X: st.X, Y: st.Y}
+	}
+	return &StationsResponse{Stations: out}
+}
+
+// ArrivalResponse is the body of /v1/arrival.
+type ArrivalResponse struct {
+	From      Station `json:"from"`
+	To        Station `json:"to"`
+	Depart    string  `json:"depart"`
+	Reachable bool    `json:"reachable"`
+	// Arrive is present only when Reachable. Minutes is always serialized
+	// and only meaningful when Reachable (a genuine zero-minute trip
+	// exists: from == to), so branch on Reachable, not on Minutes.
+	Arrive  string  `json:"arrive,omitempty"`
+	Minutes int     `json:"minutes"`
+	QueryMS float64 `json:"query_ms"`
+}
+
+// NewArrivalResponse renders an earliest-arrival result.
+func NewArrivalResponse(n *transit.Network, req transit.Request, res *transit.Result) (*ArrivalResponse, error) {
+	arr, err := res.Arrival()
+	if err != nil {
+		return nil, err
+	}
+	out := &ArrivalResponse{
+		From:    station(n, req.From),
+		To:      station(n, req.To),
+		Depart:  n.FormatClock(req.Depart),
+		QueryMS: queryMS(res),
+	}
+	if !arr.IsInf() {
+		out.Reachable = true
+		out.Arrive = n.FormatClock(arr)
+		out.Minutes = int(arr - req.Depart)
+	}
+	return out, nil
+}
+
+// Connection is one relevant departure of a profile.
+type Connection struct {
+	Depart  string `json:"depart"`
+	Arrive  string `json:"arrive"`
+	Minutes int    `json:"minutes"`
+}
+
+// ProfileResponse is the body of /v1/profile.
+type ProfileResponse struct {
+	From        Station      `json:"from"`
+	To          Station      `json:"to"`
+	Connections []Connection `json:"connections"`
+	// WalkMinutes is the pure footpath time, -1 when not walkable.
+	WalkMinutes int     `json:"walk_minutes"`
+	QueryMS     float64 `json:"query_ms"`
+}
+
+// NewProfileResponse renders a station-to-station profile result.
+func NewProfileResponse(n *transit.Network, req transit.Request, res *transit.Result) (*ProfileResponse, error) {
+	p, err := res.Profile()
+	if err != nil {
+		return nil, err
+	}
+	out := &ProfileResponse{
+		From:        station(n, req.From),
+		To:          station(n, req.To),
+		Connections: []Connection{},
+		WalkMinutes: -1,
+		QueryMS:     queryMS(res),
+	}
+	if w := p.WalkOnly(); !w.IsInf() {
+		out.WalkMinutes = int(w)
+	}
+	for _, c := range p.Connections() {
+		out.Connections = append(out.Connections, Connection{
+			Depart:  n.FormatClock(c.Departure),
+			Arrive:  n.FormatClock(c.Arrival),
+			Minutes: int(c.Arrival - c.Departure),
+		})
+	}
+	return out, nil
+}
+
+// Leg is one train ride of a journey.
+type Leg struct {
+	Train  string  `json:"train"`
+	From   Station `json:"from"`
+	Depart string  `json:"depart"`
+	To     Station `json:"to"`
+	Arrive string  `json:"arrive"`
+	Stops  int     `json:"stops"`
+}
+
+// JourneyResponse is the body of /v1/journey.
+type JourneyResponse struct {
+	From      Station `json:"from"`
+	To        Station `json:"to"`
+	Depart    string  `json:"depart"`
+	Transfers int     `json:"transfers"`
+	Legs      []Leg   `json:"legs"`
+	QueryMS   float64 `json:"query_ms"`
+}
+
+// NewJourneyResponse renders a journey result.
+func NewJourneyResponse(n *transit.Network, req transit.Request, res *transit.Result) (*JourneyResponse, error) {
+	j, err := res.Journey()
+	if err != nil {
+		return nil, err
+	}
+	out := &JourneyResponse{
+		From:      station(n, req.From),
+		To:        station(n, req.To),
+		Depart:    n.FormatClock(req.Depart),
+		Transfers: j.Transfers(),
+		Legs:      []Leg{},
+		QueryMS:   queryMS(res),
+	}
+	for _, l := range j.Legs {
+		out.Legs = append(out.Legs, Leg{
+			Train:  l.Train,
+			From:   Station{ID: int(l.From), Name: l.FromName},
+			Depart: n.FormatClock(l.Departure),
+			To:     Station{ID: int(l.To), Name: l.ToName},
+			Arrive: n.FormatClock(l.Arrival),
+			Stops:  l.Stops,
+		})
+	}
+	return out, nil
+}
+
+// ParetoChoice is one point of the arrival/transfers trade-off.
+type ParetoChoice struct {
+	Transfers int    `json:"transfers"`
+	Arrive    string `json:"arrive"`
+	Minutes   int    `json:"minutes"`
+}
+
+// ParetoResponse is the body of /v1/pareto: the Pareto frontier toward To
+// for a departure at Depart. To and Depart come from the request body like
+// the other endpoints'.
+type ParetoResponse struct {
+	From         Station        `json:"from"`
+	To           Station        `json:"to"`
+	Depart       string         `json:"depart"`
+	MaxTransfers int            `json:"max_transfers"`
+	Choices      []ParetoChoice `json:"choices"`
+	QueryMS      float64        `json:"query_ms"`
+}
+
+// NewParetoResponse renders a pareto result evaluated toward req.To at the
+// requested departure (the target steers the rendering, not the search).
+func NewParetoResponse(n *transit.Network, req transit.Request, res *transit.Result) (*ParetoResponse, error) {
+	pp, err := res.Pareto()
+	if err != nil {
+		return nil, err
+	}
+	choices, err := pp.Choices(req.To, req.Depart)
+	if err != nil {
+		return nil, err
+	}
+	out := &ParetoResponse{
+		From:         station(n, req.From),
+		To:           station(n, req.To),
+		Depart:       n.FormatClock(req.Depart),
+		MaxTransfers: req.MaxTransfers,
+		Choices:      []ParetoChoice{},
+		QueryMS:      queryMS(res),
+	}
+	for _, c := range choices {
+		out.Choices = append(out.Choices, ParetoChoice{
+			Transfers: c.Transfers,
+			Arrive:    n.FormatClock(c.Arrival),
+			Minutes:   int(c.Arrival - req.Depart),
+		})
+	}
+	return out, nil
+}
+
+// MatrixResponse is the body of /v1/matrix: travel minutes from every
+// source (row) to every target (column), -1 when unreachable.
+type MatrixResponse struct {
+	Depart  string    `json:"depart"`
+	Sources []Station `json:"sources"`
+	Targets []Station `json:"targets"`
+	Minutes [][]int   `json:"minutes"`
+	QueryMS float64   `json:"query_ms"`
+}
+
+// NewMatrixResponse renders a matrix result.
+func NewMatrixResponse(n *transit.Network, req transit.Request, res *transit.Result) (*MatrixResponse, error) {
+	m, err := res.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	out := &MatrixResponse{
+		Depart:  n.FormatClock(req.Depart),
+		Sources: make([]Station, len(req.Sources)),
+		Targets: make([]Station, len(req.Targets)),
+		Minutes: make([][]int, len(m)),
+		QueryMS: queryMS(res),
+	}
+	for i, s := range req.Sources {
+		out.Sources[i] = station(n, s)
+	}
+	for j, t := range req.Targets {
+		out.Targets[j] = station(n, t)
+	}
+	for i, row := range m {
+		r := make([]int, len(row))
+		for j, arr := range row {
+			if arr.IsInf() {
+				r[j] = -1
+			} else {
+				r[j] = int(arr - req.Depart)
+			}
+		}
+		out.Minutes[i] = r
+	}
+	return out, nil
+}
+
+// ErrorBody is the machine-readable error payload.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Field   string `json:"field,omitempty"`
+}
+
+// ErrorResponse is the envelope every /v1 error travels in.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// NewErrorResponse wraps any error into the envelope, preserving the
+// transit error code and field when present.
+func NewErrorResponse(err error) *ErrorResponse {
+	body := ErrorBody{Code: string(transit.ErrorCodeOf(err)), Message: err.Error()}
+	var te *transit.Error
+	if errors.As(err, &te) {
+		body.Field = te.Field
+		body.Message = te.Message
+	}
+	return &ErrorResponse{Error: body}
+}
+
+// HTTPStatus maps an error code to the status of its /v1 response.
+func HTTPStatus(code transit.ErrorCode) int {
+	switch code {
+	case transit.CodeUnreachable:
+		return 404
+	case transit.CodeCancelled:
+		// Client went away; 499 in the nginx tradition (no stdlib constant).
+		return 499
+	case transit.CodeDeadlineExceeded:
+		return 504
+	case transit.CodeInternal:
+		return 500
+	default:
+		return 400
+	}
+}
+
+// queryMS renders the query wall time in milliseconds.
+func queryMS(res *transit.Result) float64 {
+	return float64(res.Stats().Elapsed.Microseconds()) / 1000
+}

@@ -5,20 +5,32 @@
 //	tpquery -net la.tt -from "losangeles-3-4" -to "losangeles-10-2" -at 08:15
 //	tpquery -net la.tt -from 12 -to 80 -profile
 //	tpquery -net la.tt -gtfs feed/ -from 12 -to 80 -profile -threads 4
+//	tpquery -net la.tt -from 12 -to 80 -at 08:15 -json
 //
 // Stations may be given by name or numeric ID. Without -profile the tool
 // prints the earliest arrival for the departure time -at; with -profile it
-// prints every relevant connection of the day.
+// prints every relevant connection of the day; with -journeys the itinerary.
+//
+// Every mode builds a transit.Request and answers it through the unified
+// Network.Plan entry point — the same path cmd/tpserver serves. With -json
+// the output is the corresponding /v1 response struct of api/v1 (one
+// serialization path, not two), so piping tpquery output and calling the
+// HTTP API yield byte-compatible documents (docs/API.md).
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 
 	"transit"
+	apiv1 "transit/api/v1"
 )
+
+var jsonOut = false
 
 func main() {
 	netFile := flag.String("net", "", "timetable file (library text format)")
@@ -30,7 +42,9 @@ func main() {
 	threads := flag.Int("threads", 1, "parallel worker goroutines for profile queries")
 	preprocess := flag.Float64("preprocess", 0, "transfer-station fraction for distance-table pruning (0 = off)")
 	journeys := flag.Bool("journeys", false, "print the itinerary for the chosen departure (one-to-all search)")
+	jsonFlag := flag.Bool("json", false, "emit the /v1 API response structs as JSON (api/v1; docs/API.md)")
 	flag.Parse()
+	jsonOut = *jsonFlag
 
 	n, err := loadNetwork(*netFile, *gtfsDir)
 	if err != nil {
@@ -60,14 +74,34 @@ func main() {
 			ps.TransferStations, ps.Elapsed, float64(ps.TableBytes)/(1<<20))
 	}
 
+	// Every mode is one Plan call; the flags only pick the request kind.
+	req := transit.Request{From: src, To: dst, Options: opt}
 	switch {
 	case *journeys:
-		opt.TrackJourneys = true
-		all, err := n.ProfileAll(src, opt)
-		if err != nil {
-			fail(err)
+		req.Kind = transit.KindJourney
+		req.Depart = dep
+	case *profile:
+		req.Kind = transit.KindProfile
+	default:
+		req.Kind = transit.KindEarliestArrival
+		req.Depart = dep
+	}
+	res, err := n.Plan(context.Background(), req)
+	if err != nil {
+		fail(err)
+	}
+
+	switch req.Kind {
+	case transit.KindJourney:
+		if jsonOut {
+			out, err := apiv1.NewJourneyResponse(n, req, res)
+			if err != nil {
+				fail(err)
+			}
+			emit(out)
+			return
 		}
-		j, err := all.Journey(dst, dep)
+		j, err := res.Journey()
 		if err != nil {
 			fail(err)
 		}
@@ -77,11 +111,20 @@ func main() {
 			fmt.Printf("  %-24s %s %s → %s %s (%d stops)\n",
 				l.Train, l.FromName, n.FormatClock(l.Departure), l.ToName, n.FormatClock(l.Arrival), l.Stops)
 		}
-	case *profile:
-		p, st, err := n.Profile(src, dst, opt)
+	case transit.KindProfile:
+		if jsonOut {
+			out, err := apiv1.NewProfileResponse(n, req, res)
+			if err != nil {
+				fail(err)
+			}
+			emit(out)
+			return
+		}
+		p, err := res.Profile()
 		if err != nil {
 			fail(err)
 		}
+		st := res.Stats()
 		fmt.Printf("%s → %s: %d relevant connections (settled %d labels in %v)\n",
 			n.Station(src).Name, n.Station(dst).Name, len(p.Connections()), st.SettledConnections, st.Elapsed)
 		for _, c := range p.Connections() {
@@ -89,7 +132,15 @@ func main() {
 				n.FormatClock(c.Departure), n.FormatClock(c.Arrival), c.Arrival-c.Departure)
 		}
 	default:
-		arr, err := n.EarliestArrival(src, dst, dep, opt)
+		if jsonOut {
+			out, err := apiv1.NewArrivalResponse(n, req, res)
+			if err != nil {
+				fail(err)
+			}
+			emit(out)
+			return
+		}
+		arr, err := res.Arrival()
 		if err != nil {
 			fail(err)
 		}
@@ -99,6 +150,15 @@ func main() {
 		}
 		fmt.Printf("%s → %s: depart %s, arrive %s (%d min)\n",
 			n.Station(src).Name, n.Station(dst).Name, n.FormatClock(dep), n.FormatClock(arr), arr-dep)
+	}
+}
+
+// emit writes one /v1 response document to stdout.
+func emit(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 
@@ -130,10 +190,20 @@ func station(n *transit.Network, s string) (transit.StationID, error) {
 	if v, err := strconv.Atoi(s); err == nil && v >= 0 && v < n.NumStations() {
 		return transit.StationID(v), nil
 	}
-	return 0, fmt.Errorf("tpquery: unknown station %q", s)
+	return 0, &transit.Error{
+		Code: transit.CodeUnknownStation, Field: "station",
+		Message: fmt.Sprintf("unknown station %q", s),
+	}
 }
 
+// fail reports the error — as the /v1 error envelope in -json mode, so
+// scripted callers parse one format for success and failure alike.
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, err)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		_ = enc.Encode(apiv1.NewErrorResponse(err))
+	} else {
+		fmt.Fprintln(os.Stderr, err)
+	}
 	os.Exit(1)
 }

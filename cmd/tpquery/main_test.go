@@ -1,11 +1,14 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"transit"
+	apiv1 "transit/api/v1"
 )
 
 func tmpNetworkFile(t *testing.T) string {
@@ -75,5 +78,45 @@ func TestStationLookup(t *testing.T) {
 	}
 	if _, err := station(n, "not a station"); err == nil {
 		t.Fatal("unknown name accepted")
+	}
+}
+
+// TestJSONSharedSerializationPath pins the -json contract: tpquery's JSON
+// output is built by the same api/v1 constructors the /v1 HTTP endpoints
+// use, so the documents match field for field.
+func TestJSONSharedSerializationPath(t *testing.T) {
+	path := tmpNetworkFile(t)
+	n, err := loadNetwork(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := transit.Request{Kind: transit.KindEarliestArrival, From: 0, To: 5, Depart: 495}
+	res, err := n.Plan(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := apiv1.NewArrivalResponse(n, req, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"from", "to", "depart", "reachable", "query_ms"} {
+		if _, ok := doc[field]; !ok {
+			t.Fatalf("missing field %q in %s", field, raw)
+		}
+	}
+	arr, err := res.Arrival()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := !arr.IsInf(); doc["reachable"] != want {
+		t.Fatalf("reachable = %v, want %v", doc["reachable"], want)
 	}
 }

@@ -8,16 +8,33 @@
 //	tpserver -net la.tt -preprocess 0.05 -repreprocess async -listen :8080
 //	tpserver -snapshot la.snap -persist state.snap -listen :8080
 //
-// Endpoints:
+// Endpoints (see docs/API.md for the wire format):
 //
-//	GET  /stations                         list stations
-//	GET  /arrival?from=ID&to=ID&at=HH:MM   earliest arrival
-//	GET  /profile?from=ID&to=ID            all best connections of the day
-//	GET  /journey?from=ID&to=ID&at=HH:MM   itinerary with legs
-//	POST /delays                           apply a delay/cancellation batch
-//	GET  /version                          snapshot epoch + provenance
-//	GET  /metrics                          Prometheus-style counters
-//	GET  /healthz                          liveness
+//	GET|POST /v1/arrival                   earliest arrival (typed JSON)
+//	GET|POST /v1/profile                   all best connections of the day
+//	GET|POST /v1/journey                   itinerary with legs
+//	GET|POST /v1/pareto                    arrival/transfers Pareto frontier
+//	POST     /v1/matrix                    batch one-to-many earliest arrivals
+//	GET      /v1/stations                  list stations
+//	POST     /delays                       apply a delay/cancellation batch
+//	GET      /version                      snapshot epoch + provenance
+//	GET      /metrics                      Prometheus-style counters
+//	GET      /healthz                      liveness
+//
+// Every /v1 query runs under the request's context — a disconnected client
+// aborts the in-flight search (counted by tpserver_queries_cancelled_total)
+// — bounded by the X-Deadline-Ms request header or the -query-timeout
+// default, and failures arrive in a structured error envelope with
+// machine-readable codes. All /v1 handlers are thin wrappers over the
+// library's unified transit.Network.Plan entry point.
+//
+// The unversioned query endpoints predating /v1 remain as deprecated
+// wrappers over the same Plan path (marked with a Deprecation header):
+//
+//	GET /stations
+//	GET /arrival?from=ID&to=ID&at=HH:MM
+//	GET /profile?from=ID&to=ID
+//	GET /journey?from=ID&to=ID&at=HH:MM
 //
 // Query execution is allocation-free in the steady state: each request
 // goroutine checks a search workspace out of the library's pool
@@ -80,14 +97,26 @@ type server struct {
 	reg     *live.Registry
 	threads int
 
+	// queryTimeout is the default per-request deadline of the query
+	// endpoints; clients can shorten it with the X-Deadline-Ms header.
+	queryTimeout time.Duration
+
+	// cancelled counts queries abandoned mid-flight (client disconnect or
+	// deadline), exposed as tpserver_queries_cancelled_total.
+	cancelled atomic.Uint64
+
 	// Per-endpoint request counters (GET /metrics). The map is fully
 	// populated by newMux before the server starts; afterwards only the
 	// atomic values move, so concurrent reads need no lock.
 	hits map[string]*atomic.Uint64
 }
 
+// defaultQueryTimeout is the per-request deadline applied when the
+// operator does not configure -query-timeout.
+const defaultQueryTimeout = 10 * time.Second
+
 func newServer(reg *live.Registry, threads int) *server {
-	return &server{reg: reg, threads: threads, hits: make(map[string]*atomic.Uint64)}
+	return &server{reg: reg, threads: threads, queryTimeout: defaultQueryTimeout, hits: make(map[string]*atomic.Uint64)}
 }
 
 // count registers a request counter for the endpoint and wraps its handler.
@@ -102,10 +131,11 @@ func (s *server) count(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 
 func newMux(s *server) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /stations", s.count("stations", s.stations))
-	mux.HandleFunc("GET /arrival", s.count("arrival", s.arrival))
-	mux.HandleFunc("GET /profile", s.count("profile", s.profile))
-	mux.HandleFunc("GET /journey", s.count("journey", s.journey))
+	registerV1(mux, s)
+	mux.HandleFunc("GET /stations", s.count("stations", deprecated("/v1/stations", s.stations)))
+	mux.HandleFunc("GET /arrival", s.count("arrival", deprecated("/v1/arrival", s.arrival)))
+	mux.HandleFunc("GET /profile", s.count("profile", deprecated("/v1/profile", s.profile)))
+	mux.HandleFunc("GET /journey", s.count("journey", deprecated("/v1/journey", s.journey)))
 	mux.HandleFunc("POST /delays", s.count("delays", s.delays))
 	mux.HandleFunc("GET /version", s.count("version", s.version))
 	mux.HandleFunc("GET /metrics", s.metrics)
@@ -127,6 +157,8 @@ func main() {
 	preprocess := flag.Float64("preprocess", 0.05, "transfer-station fraction (0 = no distance table)")
 	repreprocess := flag.String("repreprocess", "async", "distance table policy after a delay update: async, sync or off")
 	threads := flag.Int("threads", 1, "parallel workers per query")
+	queryTimeout := flag.Duration("query-timeout", defaultQueryTimeout,
+		"default per-request query deadline (clients shorten it with X-Deadline-Ms; 0 = none)")
 	listen := flag.String("listen", ":8080", "listen address")
 	pprofAddr := flag.String("pprof", "", "side listener for net/http/pprof (e.g. 127.0.0.1:6060; empty = off)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 15*time.Second, "graceful-shutdown drain budget")
@@ -206,6 +238,7 @@ func main() {
 		reg.StartPersist(*persistPath, *persistInterval)
 	}
 	s := newServer(reg, *threads)
+	s.queryTimeout = *queryTimeout
 	log.Printf("ready in %v (epoch %d)", time.Since(start).Round(time.Millisecond), state.Epoch)
 
 	srv := &http.Server{
@@ -312,9 +345,19 @@ func (s *server) arrival(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	arr, err := n.EarliestArrival(from, to, dep, transit.Options{Threads: s.threads})
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	res, err := n.Plan(ctx, transit.Request{
+		Kind: transit.KindEarliestArrival, From: from, To: to, Depart: dep,
+		Options: transit.Options{Threads: s.threads},
+	})
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.legacyError(w, err)
+		return
+	}
+	arr, err := res.Arrival()
+	if err != nil {
+		s.legacyError(w, err)
 		return
 	}
 	resp := map[string]any{"from": from, "to": to, "depart": n.FormatClock(dep)}
@@ -335,11 +378,22 @@ func (s *server) profile(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	p, st, err := n.Profile(from, to, transit.Options{Threads: s.threads})
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	res, err := n.Plan(ctx, transit.Request{
+		Kind: transit.KindProfile, From: from, To: to,
+		Options: transit.Options{Threads: s.threads},
+	})
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.legacyError(w, err)
 		return
 	}
+	p, err := res.Profile()
+	if err != nil {
+		s.legacyError(w, err)
+		return
+	}
+	st := res.Stats()
 	type connJSON struct {
 		Depart  string `json:"depart"`
 		Arrive  string `json:"arrive"`
@@ -374,14 +428,19 @@ func (s *server) journey(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	all, err := n.ProfileAll(from, transit.Options{Threads: s.threads, TrackJourneys: true})
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	res, err := n.Plan(ctx, transit.Request{
+		Kind: transit.KindJourney, From: from, To: to, Depart: dep,
+		Options: transit.Options{Threads: s.threads},
+	})
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.legacyError(w, err) // unreachable maps to 404, as before
 		return
 	}
-	j, err := all.Journey(to, dep)
+	j, err := res.Journey()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		s.legacyError(w, err)
 		return
 	}
 	type legJSON struct {
@@ -509,6 +568,7 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "dtable_repreprocess_last_seconds %g\n", m.LastReprocess.Seconds())
 	fmt.Fprintf(w, "tpserver_persist_total %d\n", m.PersistsTotal)
 	fmt.Fprintf(w, "tpserver_persist_errors_total %d\n", m.PersistErrors)
+	fmt.Fprintf(w, "tpserver_queries_cancelled_total %d\n", s.cancelled.Load())
 	names := make([]string, 0, len(s.hits))
 	for name := range s.hits {
 		names = append(names, name)

@@ -1,0 +1,212 @@
+// The versioned /v1 JSON API: typed request/response structs (api/v1), a
+// structured error envelope with machine-readable codes, per-request
+// deadlines, and context cancellation threaded into the search loops. The
+// wire format is specified in docs/API.md.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"transit"
+	apiv1 "transit/api/v1"
+)
+
+// deadlineHeader is the client-supplied per-request deadline in
+// milliseconds. It can shorten the server default (-query-timeout), never
+// extend it.
+const deadlineHeader = "X-Deadline-Ms"
+
+// maxMatrixCells bounds a /v1/matrix batch (sources × targets): a matrix
+// request is the one endpoint whose cost the client controls
+// quadratically.
+const maxMatrixCells = 16384
+
+// queryContext derives the context a query runs under: the request's own
+// context (cancelled when the client disconnects), bounded by the client
+// deadline header or the server default.
+func (s *server) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
+	timeout := s.queryTimeout
+	if h := r.Header.Get(deadlineHeader); h != "" {
+		if ms, err := strconv.Atoi(h); err == nil && ms > 0 {
+			d := time.Duration(ms) * time.Millisecond
+			if timeout <= 0 || d < timeout {
+				timeout = d
+			}
+		}
+	}
+	if timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+// v1Error writes the structured error envelope and counts abandoned
+// queries.
+func (s *server) v1Error(w http.ResponseWriter, err error) {
+	code := transit.ErrorCodeOf(err)
+	if code == transit.CodeCancelled || code == transit.CodeDeadlineExceeded {
+		s.cancelled.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(apiv1.HTTPStatus(code))
+	if err := json.NewEncoder(w).Encode(apiv1.NewErrorResponse(err)); err != nil {
+		log.Printf("tpserver: encode error envelope: %v", err)
+	}
+}
+
+// stationRefParam turns a query parameter into a station reference: all
+// digits means ID, anything else an exact name.
+func stationRefParam(v string) *apiv1.StationRef {
+	if v == "" {
+		return nil
+	}
+	if id, err := strconv.Atoi(v); err == nil {
+		ref := apiv1.ByID(id)
+		return &ref
+	}
+	ref := apiv1.ByName(v)
+	return &ref
+}
+
+// decodePlanRequest builds the wire request from a GET query string or a
+// POST JSON body (unknown fields rejected).
+func decodePlanRequest(w http.ResponseWriter, r *http.Request) (*apiv1.PlanRequest, error) {
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query()
+		p := &apiv1.PlanRequest{
+			From:       stationRefParam(q.Get("from")),
+			To:         stationRefParam(q.Get("to")),
+			Depart:     q.Get("depart"),
+			WindowFrom: q.Get("window_from"),
+			WindowTo:   q.Get("window_to"),
+		}
+		if p.Depart == "" {
+			p.Depart = q.Get("at") // legacy-compatible alias
+		}
+		if mt := q.Get("max_transfers"); mt != "" {
+			v, err := strconv.Atoi(mt)
+			if err != nil {
+				return nil, &transit.Error{
+					Code: transit.CodeBadTransfers, Field: "max_transfers",
+					Message: fmt.Sprintf("bad max_transfers %q", mt),
+				}
+			}
+			p.MaxTransfers = v
+		}
+		return p, nil
+	case http.MethodPost:
+		p := &apiv1.PlanRequest{}
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(p); err != nil {
+			return nil, &transit.Error{
+				Code:    transit.CodeInvalidRequest,
+				Message: "bad request body: " + err.Error(),
+			}
+		}
+		return p, nil
+	default:
+		return nil, &transit.Error{
+			Code: transit.CodeInvalidRequest, Message: "use GET or POST",
+		}
+	}
+}
+
+// v1Query is the shared handler shape of the /v1 query endpoints: decode,
+// resolve against the current snapshot, Plan under the request context,
+// render.
+func (s *server) v1Query(kind transit.Kind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		n := s.reg.Snapshot().Net // one load: the whole request sees this version
+		preq, err := decodePlanRequest(w, r)
+		if err != nil {
+			s.v1Error(w, err)
+			return
+		}
+		req, err := preq.Resolve(n, kind, transit.Options{Threads: s.threads})
+		if err != nil {
+			s.v1Error(w, err)
+			return
+		}
+		if kind == transit.KindMatrix && len(req.Sources)*len(req.Targets) > maxMatrixCells {
+			s.v1Error(w, &transit.Error{
+				Code: transit.CodeInvalidRequest, Field: "sources",
+				Message: fmt.Sprintf("matrix of %d×%d cells exceeds the %d-cell limit",
+					len(req.Sources), len(req.Targets), maxMatrixCells),
+			})
+			return
+		}
+		ctx, cancel := s.queryContext(r)
+		defer cancel()
+		res, err := n.Plan(ctx, req)
+		if err != nil {
+			s.v1Error(w, err)
+			return
+		}
+		var body any
+		switch kind {
+		case transit.KindEarliestArrival:
+			body, err = apiv1.NewArrivalResponse(n, req, res)
+		case transit.KindProfile:
+			body, err = apiv1.NewProfileResponse(n, req, res)
+		case transit.KindJourney:
+			body, err = apiv1.NewJourneyResponse(n, req, res)
+		case transit.KindPareto:
+			body, err = apiv1.NewParetoResponse(n, req, res)
+		case transit.KindMatrix:
+			body, err = apiv1.NewMatrixResponse(n, req, res)
+		}
+		if err != nil {
+			s.v1Error(w, err)
+			return
+		}
+		writeJSON(w, body)
+	}
+}
+
+// v1Stations serves the station list.
+func (s *server) v1Stations(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, apiv1.NewStationsResponse(s.reg.Snapshot().Net))
+}
+
+// registerV1 wires the /v1 routes into the mux.
+func registerV1(mux *http.ServeMux, s *server) {
+	mux.HandleFunc("/v1/arrival", s.count("v1_arrival", s.v1Query(transit.KindEarliestArrival)))
+	mux.HandleFunc("/v1/profile", s.count("v1_profile", s.v1Query(transit.KindProfile)))
+	mux.HandleFunc("/v1/journey", s.count("v1_journey", s.v1Query(transit.KindJourney)))
+	mux.HandleFunc("/v1/pareto", s.count("v1_pareto", s.v1Query(transit.KindPareto)))
+	mux.HandleFunc("POST /v1/matrix", s.count("v1_matrix", s.v1Query(transit.KindMatrix)))
+	mux.HandleFunc("GET /v1/stations", s.count("v1_stations", s.v1Stations))
+}
+
+// deprecated marks a legacy endpoint's response with its /v1 successor, per
+// the deprecation policy in docs/API.md. The legacy endpoints remain thin
+// wrappers over the same Plan path.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		h(w, r)
+	}
+}
+
+// legacyError renders an error the way the legacy endpoints always did —
+// plain text, no envelope — while sharing the status mapping and the
+// cancellation metric with /v1.
+func (s *server) legacyError(w http.ResponseWriter, err error) {
+	code := transit.ErrorCodeOf(err)
+	if code == transit.CodeCancelled || code == transit.CodeDeadlineExceeded {
+		s.cancelled.Add(1)
+	}
+	msg := err.Error()
+	msg = strings.TrimPrefix(msg, "transit: ")
+	http.Error(w, msg, apiv1.HTTPStatus(code))
+}

@@ -1,0 +1,99 @@
+package transit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrorCode is a machine-readable classification of a query failure. The
+// same codes travel over the wire in the /v1 HTTP error envelope (see
+// docs/API.md), so a client can branch on them without parsing messages.
+type ErrorCode string
+
+const (
+	// CodeInvalidRequest marks a Request whose fields do not fit its Kind
+	// (e.g. matrix sources on an earliest-arrival query).
+	CodeInvalidRequest ErrorCode = "invalid_request"
+	// CodeUnknownKind marks a Request.Kind outside the supported set.
+	CodeUnknownKind ErrorCode = "unknown_kind"
+	// CodeStationRange marks a station ID outside [0, NumStations).
+	CodeStationRange ErrorCode = "station_out_of_range"
+	// CodeUnknownStation marks a station name that resolves to nothing
+	// (produced by the wire layer, which resolves names to IDs).
+	CodeUnknownStation ErrorCode = "unknown_station"
+	// CodeBadTime marks an unparseable or negative time value.
+	CodeBadTime ErrorCode = "bad_time"
+	// CodeBadWindow marks an invalid departure window, or a window on a
+	// Kind that does not support one.
+	CodeBadWindow ErrorCode = "bad_window"
+	// CodeBadTransfers marks a transfer budget outside [0, 32], or a budget
+	// on a Kind that does not support one.
+	CodeBadTransfers ErrorCode = "bad_transfers"
+	// CodeKindMismatch marks a Result accessor that does not belong to the
+	// result's Kind (e.g. Journey() on a profile result).
+	CodeKindMismatch ErrorCode = "kind_mismatch"
+	// CodeUnreachable marks a journey request whose target cannot be
+	// reached from the source at the requested departure.
+	CodeUnreachable ErrorCode = "unreachable"
+	// CodeCancelled marks a query abandoned because the caller's context
+	// was cancelled (client disconnect).
+	CodeCancelled ErrorCode = "cancelled"
+	// CodeDeadlineExceeded marks a query abandoned because the caller's
+	// context deadline passed.
+	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
+	// CodeInternal marks everything else.
+	CodeInternal ErrorCode = "internal"
+)
+
+// Error is the structured error type of the query API: a machine-readable
+// Code, the offending Field (when one field is to blame), and a
+// human-readable Message. It is what Network.Plan returns for request
+// validation and cancellation failures, and what the /v1 endpoints
+// serialize into their error envelope.
+type Error struct {
+	Code    ErrorCode
+	Field   string
+	Message string
+
+	err error // wrapped cause, if any
+}
+
+// Error renders the message with the library's usual prefix.
+func (e *Error) Error() string { return "transit: " + e.Message }
+
+// Unwrap exposes the wrapped cause, so errors.Is(err, context.Canceled)
+// and friends keep working through Plan's translation.
+func (e *Error) Unwrap() error { return e.err }
+
+func errf(code ErrorCode, field, format string, args ...any) *Error {
+	return &Error{Code: code, Field: field, Message: fmt.Sprintf(format, args...)}
+}
+
+// ErrorCodeOf classifies any error into an ErrorCode: a *transit.Error
+// yields its own code, raw context errors map to CodeCancelled and
+// CodeDeadlineExceeded, and everything else is CodeInternal.
+func ErrorCodeOf(err error) ErrorCode {
+	var te *Error
+	if errors.As(err, &te) {
+		return te.Code
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeDeadlineExceeded
+	case errors.Is(err, context.Canceled):
+		return CodeCancelled
+	}
+	return CodeInternal
+}
+
+// ctxError translates a context failure into a typed *Error wrapping the
+// context's own error, so both the code and errors.Is survive.
+func ctxError(ctx context.Context) *Error {
+	err := ctx.Err()
+	code := CodeCancelled
+	if errors.Is(err, context.DeadlineExceeded) {
+		code = CodeDeadlineExceeded
+	}
+	return &Error{Code: code, Message: "query " + string(code), err: err}
+}

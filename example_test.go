@@ -2,6 +2,7 @@ package transit_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -122,4 +123,49 @@ func ExampleLoadSnapshot() {
 		state.Epoch, loaded.FormatClock(dep), loaded.FormatClock(arr))
 	// Output:
 	// epoch 0 snapshot; Airport→Harbor at 08:00 arrives 09:27
+}
+
+// The unified request API: every query kind goes through one cancellable
+// entry point, Network.Plan, which the /v1 HTTP surface of cmd/tpserver
+// mirrors one-to-one (docs/API.md). Validation failures carry
+// machine-readable codes.
+func ExampleNetwork_Plan() {
+	net := exampleNetwork()
+	ctx := context.Background()
+	airport, _ := net.StationByName("Airport")
+	center, _ := net.StationByName("Center")
+	harbor, _ := net.StationByName("Harbor")
+	dep, _ := transit.ParseClock("08:00")
+
+	// A scalar earliest-arrival request.
+	res, err := net.Plan(ctx, transit.Request{
+		Kind: transit.KindEarliestArrival, From: airport, To: harbor, Depart: dep,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	arr, _ := res.Arrival()
+	fmt.Printf("Airport→Harbor arrives %s\n", net.FormatClock(arr))
+
+	// A batch matrix request: every sources×targets pair in one call.
+	res, err = net.Plan(ctx, transit.Request{
+		Kind:    transit.KindMatrix,
+		Sources: []transit.StationID{airport, center},
+		Targets: []transit.StationID{harbor},
+		Depart:  dep,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, _ := res.Matrix()
+	fmt.Printf("matrix minutes: Airport %d, Center %d\n", m[0][0]-dep, m[1][0]-dep)
+
+	// Malformed requests fail with a typed, machine-readable code — the
+	// same code the /v1 error envelope carries on the wire.
+	_, err = net.Plan(ctx, transit.Request{Kind: "teleport"})
+	fmt.Println("error code:", transit.ErrorCodeOf(err))
+	// Output:
+	// Airport→Harbor arrives 09:27
+	// matrix minutes: Airport 87, Center 27
+	// error code: unknown_kind
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,14 +26,43 @@ func main() {
 	dst := transit.StationID(net.NumStations() / 2)
 	fmt.Printf("\nfrom %q to %q\n", net.Station(src).Name, net.Station(dst).Name)
 
-	// 1. A plain time-query: depart at 08:15, when do we arrive?
+	// 1. A plain time-query: depart at 08:15, when do we arrive? Every
+	// query kind runs through the unified, context-aware entry point
+	// Network.Plan (the convenience methods below wrap it).
 	dep, _ := transit.ParseClock("08:15")
-	arr, err := net.EarliestArrival(src, dst, dep, transit.Options{})
+	res, err := net.Plan(context.Background(), transit.Request{
+		Kind: transit.KindEarliestArrival, From: src, To: dst, Depart: dep,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	arr, _ := res.Arrival()
 	fmt.Printf("depart %s → arrive %s (%d min)\n",
 		net.FormatClock(dep), net.FormatClock(arr), arr-dep)
+
+	// 1b. The batch form: one matrix request answers many pairs at once
+	// (the /v1/matrix endpoint of cmd/tpserver).
+	mres, err := net.Plan(context.Background(), transit.Request{
+		Kind:    transit.KindMatrix,
+		Sources: []transit.StationID{src, dst},
+		Targets: []transit.StationID{src, dst},
+		Depart:  dep,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, _ := mres.Matrix()
+	fmt.Printf("2×2 travel matrix at %s:\n", net.FormatClock(dep))
+	for i, row := range m {
+		for j, a := range row {
+			mins := "—"
+			if !a.IsInf() {
+				mins = fmt.Sprintf("%d min", a-dep)
+			}
+			fmt.Printf("  [%d→%d] %s", i, j, mins)
+		}
+		fmt.Println()
+	}
 
 	// 2. The full profile: every relevant connection of the day in one
 	// query (the paper's core contribution), computed in parallel.

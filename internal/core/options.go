@@ -52,6 +52,12 @@ type Options struct {
 	// HeapArity selects the d-ary heap (2 or 4); 0 means 2, the paper's
 	// binary heap.
 	HeapArity int
+	// Done, when non-nil, makes the search cooperatively cancellable: the
+	// settle loops poll the channel once every cancelStride queue pops (a
+	// coarse stride, so the steady-state cost is one nil check per pop) and
+	// abandon the search with ErrCancelled once it is closed. Callers
+	// normally set this to ctx.Done() of the request driving the query.
+	Done <-chan struct{}
 }
 
 func (o Options) threads() int {

@@ -47,6 +47,9 @@ func OneToAllPareto(g *graph.Graph, source timetable.StationID, maxTransfers int
 	if opts.TrackParents {
 		return nil, fmt.Errorf("core: Pareto search does not support parent tracking")
 	}
+	if cancelled(opts.Done) {
+		return nil, ErrCancelled
+	}
 	start := time.Now()
 
 	tt := g.TT
@@ -89,6 +92,11 @@ func OneToAllPareto(g *graph.Graph, source timetable.StationID, maxTransfers int
 			}(w)
 		}
 		wg.Wait()
+	}
+	for _, w := range workers {
+		if w.cancelled {
+			return nil, ErrCancelled
+		}
 	}
 	res.Run.PerThread = make([]stats.Counters, nw)
 	for t, w := range workers {
@@ -184,6 +192,9 @@ type paretoWorker struct {
 	opts     Options
 	lo, hi   int
 	counters stats.Counters
+	// cancelled is set when the worker abandoned its range because
+	// Options.Done closed; OneToAllPareto turns it into ErrCancelled.
+	cancelled bool
 }
 
 func (w *paretoWorker) run() {
@@ -217,9 +228,14 @@ func (w *paretoWorker) run() {
 		}
 	}
 
+	done := w.opts.Done
 	for !heap.Empty() {
 		it, key := heap.PopMin()
 		w.counters.QueuePops++
+		if done != nil && w.counters.QueuePops&cancelMask == 0 && cancelled(done) {
+			w.cancelled = true
+			return
+		}
 		v := graph.NodeID(int(it) / stride)
 		rem := int(it) % stride
 		iLocal, u := rem/layers, rem%layers

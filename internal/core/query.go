@@ -199,6 +199,9 @@ func (ws *Workspace) StationToStation(env QueryEnv, source, target timetable.Sta
 	if (env.Table == nil) != (env.StationGraph == nil) {
 		return nil, fmt.Errorf("core: StationGraph and Table must be provided together")
 	}
+	if cancelled(opts.Done) {
+		return nil, ErrCancelled
+	}
 	start := time.Now()
 	gen := ws.begin()
 
@@ -282,6 +285,11 @@ func (ws *Workspace) StationToStation(env QueryEnv, source, target timetable.Sta
 		}
 		wg.Wait()
 	}
+	for t := range workers {
+		if workers[t].cancelled {
+			return nil, ErrCancelled
+		}
+	}
 	res.Run.PerThread = ws.counters(nw)
 	for t := range workers {
 		res.Run.PerThread[t] = workers[t].counters
@@ -320,6 +328,9 @@ type s2sWorker struct {
 	ws       *workerSpace
 	gen      uint32
 	counters stats.Counters
+	// cancelled is set when the worker abandoned its range because
+	// Options.Done closed; StationToStation turns it into ErrCancelled.
+	cancelled bool
 
 	settledGen []uint32
 	maxconn    []int32
@@ -417,9 +428,14 @@ func (w *s2sWorker) run() {
 		push(r, i-w.lo, g.TT.Connections[id].Dep, false)
 	}
 
+	done := q.opts.Done
 	for !heap.Empty() {
 		it, key := heap.PopMin()
 		w.counters.QueuePops++
+		if done != nil && w.counters.QueuePops&cancelMask == 0 && cancelled(done) {
+			w.cancelled = true
+			return
+		}
 		v := graph.NodeID(int(it) / kLocal)
 		iLocal := int(it) % kLocal
 		i := w.lo + iLocal

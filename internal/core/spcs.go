@@ -27,6 +27,9 @@ type spcsWorker struct {
 	gen  uint32
 
 	counters stats.Counters
+	// cancelled is set when the worker abandoned its range because
+	// Options.Done closed; the orchestrator turns it into ErrCancelled.
+	cancelled bool
 }
 
 // run executes the worker. Queue items encode (node, local connection
@@ -65,9 +68,14 @@ func (w *spcsWorker) run() {
 		}
 	}
 
+	done := w.opts.Done
 	for !heap.Empty() {
 		it, key := heap.PopMin()
 		w.counters.QueuePops++
+		if done != nil && w.counters.QueuePops&cancelMask == 0 && cancelled(done) {
+			w.cancelled = true
+			return
+		}
 		v := graph.NodeID(int(it) / kLocal)
 		iLocal := int(it) % kLocal
 		i := w.lo + iLocal
@@ -168,6 +176,9 @@ func (ws *Workspace) OneToAllWindow(g *graph.Graph, source timetable.StationID, 
 	if from > to {
 		return nil, fmt.Errorf("core: empty departure window [%d, %d]", from, to)
 	}
+	if cancelled(opts.Done) {
+		return nil, ErrCancelled
+	}
 	start := time.Now()
 	res := ws.newProfileResultWindow(g, source, opts, from, to)
 	p := opts.threads()
@@ -200,6 +211,11 @@ func (ws *Workspace) OneToAllWindow(g *graph.Graph, source timetable.StationID, 
 		wg.Wait()
 	}
 
+	for t := range workers {
+		if workers[t].cancelled {
+			return nil, ErrCancelled
+		}
+	}
 	res.Run.PerThread = ws.counters(nw)
 	for t := range workers {
 		res.Run.PerThread[t] = workers[t].counters

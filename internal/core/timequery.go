@@ -64,6 +64,9 @@ func (ws *Workspace) TimeQuery(g *graph.Graph, source timetable.StationID, depar
 	if depart < 0 {
 		return nil, fmt.Errorf("core: negative departure time %d", depart)
 	}
+	if cancelled(opts.Done) {
+		return nil, ErrCancelled
+	}
 	start := time.Now()
 	gen := ws.begin()
 	n := g.NumNodes()
@@ -93,9 +96,13 @@ func (ws *Workspace) TimeQuery(g *graph.Graph, source timetable.StationID, depar
 		}
 	}
 
+	done := opts.Done
 	for !heap.Empty() {
 		it, key := heap.PopMin()
 		c.QueuePops++
+		if done != nil && c.QueuePops&cancelMask == 0 && cancelled(done) {
+			return nil, ErrCancelled
+		}
 		v := graph.NodeID(it)
 		settledGen[v] = gen
 		res.arr[v] = key

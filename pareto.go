@@ -1,6 +1,8 @@
 package transit
 
 import (
+	"context"
+
 	"transit/internal/core"
 )
 
@@ -23,15 +25,19 @@ type ParetoProfiles struct {
 // src, minimizing arrival time and number of transfers simultaneously up
 // to maxTransfers (the paper's future-work extension; see
 // internal/core.OneToAllPareto for the layered connection-setting scheme).
+//
+// It is a convenience wrapper over Plan with KindPareto; use Plan directly
+// to thread a context.Context through the search.
 func (n *Network) ProfileAllPareto(src StationID, maxTransfers int, opt Options) (*ParetoProfiles, error) {
-	if err := n.checkStation(src); err != nil {
-		return nil, err
-	}
-	res, err := core.OneToAllPareto(n.g, src, maxTransfers, opt.core())
+	r := planResults.Get().(*Result)
+	defer planResults.Put(r)
+	res, err := n.Plan(context.Background(), Request{
+		Kind: KindPareto, From: src, MaxTransfers: maxTransfers, Options: opt, Reuse: r,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &ParetoProfiles{n: n, res: res}, nil
+	return res.pareto, nil
 }
 
 // Source returns the search's source station.

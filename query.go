@@ -1,6 +1,7 @@
 package transit
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -188,66 +189,37 @@ type PreprocessStats struct {
 // EarliestArrival answers a plain time-query: the earliest arrival at dst
 // when departing src at dep. Only a scalar escapes, so the query runs on a
 // pooled workspace and the steady state allocates nothing.
+//
+// It is a convenience wrapper over Plan with KindEarliestArrival; use Plan
+// directly to thread a context.Context through the search.
 func (n *Network) EarliestArrival(src, dst StationID, dep Ticks, opt Options) (Ticks, error) {
-	if err := n.checkStation(src); err != nil {
-		return Infinity, err
-	}
-	if err := n.checkStation(dst); err != nil {
-		return Infinity, err
-	}
-	ws := core.GetWorkspace()
-	res, err := ws.TimeQuery(n.g, src, dep, opt.core())
+	r := planResults.Get().(*Result)
+	defer planResults.Put(r)
+	res, err := n.Plan(context.Background(), Request{
+		Kind: KindEarliestArrival, From: src, To: dst, Depart: dep, Options: opt, Reuse: r,
+	})
 	if err != nil {
-		core.PutWorkspace(ws)
 		return Infinity, err
 	}
-	arr := res.StationArrival(dst)
-	core.PutWorkspace(ws)
-	return arr, nil
+	return res.arrival, nil
 }
 
 // Profile answers a station-to-station profile query: all best connections
 // from src to dst over the whole period. With a preprocessed Network the
 // query uses the distance-table prunings; otherwise the stopping criterion
 // alone.
+//
+// It is a convenience wrapper over Plan with KindProfile; use Plan directly
+// to thread a context.Context through the search.
 func (n *Network) Profile(src, dst StationID, opt Options) (*Profile, *QueryStats, error) {
-	if err := n.checkStation(src); err != nil {
-		return nil, nil, err
-	}
-	if err := n.checkStation(dst); err != nil {
-		return nil, nil, err
-	}
-	env := core.QueryEnv{Graph: n.g}
-	if n.table != nil {
-		env.StationGraph = n.sg
-		env.Table = n.table
-	}
-	// The search runs on a pooled workspace: everything the returned
-	// Profile needs (the reduced distance function and the walk time) is
-	// extracted before the workspace goes back to the pool, so the O(n·k)
-	// search arrays never re-allocate in the steady state.
-	ws := core.GetWorkspace()
-	res, err := ws.StationToStation(env, src, dst, core.QueryOptions{Options: opt.core()})
+	r := planResults.Get().(*Result)
+	defer planResults.Put(r)
+	res, err := n.Plan(context.Background(), Request{Kind: KindProfile, From: src, To: dst, Options: opt, Reuse: r})
 	if err != nil {
-		core.PutWorkspace(ws)
 		return nil, nil, err
 	}
-	fn, err := res.Profile()
-	if err != nil {
-		core.PutWorkspace(ws)
-		return nil, nil, err
-	}
-	st := &QueryStats{
-		SettledConnections: res.Run.Total.SettledConns,
-		MaxThreadSettled:   res.Run.MaxThreadSettled(),
-		QueueOps:           res.Run.Total.QueuePushes + res.Run.Total.QueuePops,
-		Elapsed:            res.Run.Elapsed,
-		Local:              res.Local,
-		TableHit:           res.TableHit,
-	}
-	p := &Profile{Source: src, Target: dst, fn: fn, period: n.tt.Period, walkOnly: res.WalkOnly}
-	core.PutWorkspace(ws)
-	return p, st, nil
+	st := res.stats
+	return res.profile, &st, nil
 }
 
 // Journey computes a concrete itinerary from src to dst for a departure at
@@ -257,41 +229,51 @@ func (n *Network) Profile(src, dst StationID, opt Options) (*Profile, *QueryStat
 // (Station-to-station searches with distance-table pruning do not retain
 // full paths — pruned subtrees are exactly what the table replaces — so
 // journeys always come from the unpruned one-to-all search.)
+//
+// It is a convenience wrapper over Plan with KindJourney; use Plan directly
+// to thread a context.Context through the search.
 func (n *Network) Journey(src, dst StationID, dep Ticks, opt Options) (*Journey, error) {
-	opt.TrackJourneys = true
-	all, err := n.ProfileAll(src, opt)
+	r := planResults.Get().(*Result)
+	defer planResults.Put(r)
+	res, err := n.Plan(context.Background(), Request{Kind: KindJourney, From: src, To: dst, Depart: dep, Options: opt, Reuse: r})
 	if err != nil {
 		return nil, err
 	}
-	return all.Journey(dst, dep)
+	return res.journey, nil
 }
 
 // ProfileAll runs the one-to-all profile search from src: all best
 // connections of the period to every station in a single (parallel) run.
+//
+// It is a convenience wrapper over Plan with KindOneToAll; use Plan
+// directly to thread a context.Context through the search.
 func (n *Network) ProfileAll(src StationID, opt Options) (*AllProfiles, error) {
-	if err := n.checkStation(src); err != nil {
-		return nil, err
-	}
-	res, err := core.OneToAll(n.g, src, opt.core())
+	r := planResults.Get().(*Result)
+	defer planResults.Put(r)
+	res, err := n.Plan(context.Background(), Request{Kind: KindOneToAll, From: src, Options: opt, Reuse: r})
 	if err != nil {
 		return nil, err
 	}
-	return &AllProfiles{n: n, res: res}, nil
+	return res.all, nil
 }
 
 // ProfileAllWindow restricts the one-to-all profile search to departures
 // within [from, to] (Dean's interval search, referenced in the paper's
 // related work): all best connections leaving src in the window, to every
 // station, at a fraction of the full-period work.
+//
+// It is a convenience wrapper over Plan with KindOneToAll and a Window; use
+// Plan directly to thread a context.Context through the search.
 func (n *Network) ProfileAllWindow(src StationID, from, to Ticks, opt Options) (*AllProfiles, error) {
-	if err := n.checkStation(src); err != nil {
-		return nil, err
-	}
-	res, err := core.OneToAllWindow(n.g, src, from, to, opt.core())
+	r := planResults.Get().(*Result)
+	defer planResults.Put(r)
+	res, err := n.Plan(context.Background(), Request{
+		Kind: KindOneToAll, From: src, Window: &Window{From: from, To: to}, Options: opt, Reuse: r,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &AllProfiles{n: n, res: res}, nil
+	return res.all, nil
 }
 
 // AllProfiles is the result of a one-to-all profile search.
@@ -369,7 +351,7 @@ func (a *AllProfiles) Journey(dst StationID, dep Ticks) (*Journey, error) {
 
 func (n *Network) checkStation(s StationID) error {
 	if int(s) < 0 || int(s) >= n.tt.NumStations() {
-		return fmt.Errorf("transit: station %d out of range [0,%d)", s, n.tt.NumStations())
+		return errf(CodeStationRange, "station", "station %d out of range [0,%d)", s, n.tt.NumStations())
 	}
 	return nil
 }

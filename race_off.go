@@ -1,0 +1,8 @@
+//go:build !race
+
+package transit
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count assertions are skipped under it because instrumentation
+// changes allocation behavior.
+const raceEnabled = false

@@ -7,13 +7,27 @@
 // stations, and target pruning.
 //
 // The central object is a Network, built from a timetable (loaded from
-// GTFS, the library's own text format, or the synthetic generator). A
-// Network answers three kinds of questions:
+// GTFS, the library's own text format, or the synthetic generator). All
+// queries run through one unified, context-aware entry point:
+//
+//	res, err := net.Plan(ctx, transit.Request{Kind: transit.KindProfile, From: a, To: b})
+//
+// Request kinds cover the paper's queries and their batch forms —
+// earliest-arrival (time-query), journey, station-to-station profile,
+// one-to-all (optionally windowed), multi-criteria pareto, and matrix
+// (many-to-many earliest arrivals). Plan honors ctx cancellation and
+// deadlines inside the search loops and reports failures as typed *Error
+// values with machine-readable codes; cmd/tpserver exposes the same
+// requests over the versioned /v1 JSON API (docs/API.md).
+//
+// Convenience wrappers remain for the common shapes:
 //
 //   - EarliestArrival: one departure time, one target (a "time-query").
 //   - Profile: all best connections of the whole period to one target.
 //   - ProfileAll: all best connections to every station in one run — the
 //     paper's one-to-all profile search, parallelizable over goroutines.
+//   - Journey, ProfileAllWindow, ProfileAllPareto: itineraries, interval
+//     and multi-criteria searches.
 //
 // Preprocess accelerates repeated station-to-station queries with a
 // distance table between automatically selected transfer stations.
