@@ -471,6 +471,10 @@ func HTTPStatus(code transit.ErrorCode) int {
 		return 499
 	case transit.CodeDeadlineExceeded:
 		return 504
+	case transit.CodeOverloaded:
+		// Shed by admission control; the response carries a Retry-After
+		// back-off hint.
+		return 429
 	case transit.CodeInternal:
 		return 500
 	default:

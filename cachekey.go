@@ -1,0 +1,104 @@
+package transit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CacheKey returns the canonical serialization of the request for use as a
+// result-cache key: two requests with equal keys are answered identically
+// on the same network version (same live delay epoch), so a server may
+// serve one's Result for the other.
+//
+// Only the fields the request's Kind consults (see the Request table) are
+// encoded — a Depart on a profile request, say, does not change the answer
+// and therefore does not change the key. Execution tuning (Options) and
+// Reuse never affect the answer and are always excluded. An unknown Kind
+// yields the empty string: such requests fail validation and must not be
+// cached.
+func (r Request) CacheKey() string {
+	var b strings.Builder
+	b.Grow(48)
+	b.WriteString(string(r.Kind))
+	switch r.Kind {
+	case KindEarliestArrival, KindJourney:
+		fmt.Fprintf(&b, "|%d>%d@%d", r.From, r.To, r.Depart)
+	case KindProfile:
+		fmt.Fprintf(&b, "|%d>%d", r.From, r.To)
+	case KindOneToAll:
+		fmt.Fprintf(&b, "|%d", r.From)
+		if r.Window != nil {
+			fmt.Fprintf(&b, "[%d,%d]", r.Window.From, r.Window.To)
+		}
+	case KindPareto:
+		// To and Depart steer only the wire-layer rendering of the
+		// frontier, not the search; the Result depends on From and the
+		// transfer budget alone.
+		fmt.Fprintf(&b, "|%d!%d", r.From, r.MaxTransfers)
+	case KindMatrix:
+		b.WriteByte('|')
+		for i, s := range r.Sources {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", s)
+		}
+		b.WriteByte('>')
+		for i, t := range r.Targets {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", t)
+		}
+		fmt.Fprintf(&b, "@%d", r.Depart)
+	default:
+		return ""
+	}
+	return b.String()
+}
+
+// ApproxBytes estimates the heap memory a Result retains, for byte-bounded
+// result caches. Estimates are deliberately coarse (struct shells and map
+// overheads are flat constants; Ticks and IDs count 4 bytes) but scale
+// with the dominant term of each kind: label arrays for the one-to-all
+// kinds, rows for matrices, points for profiles.
+func (r *Result) ApproxBytes() int {
+	const shell = 160 // the Result struct itself plus per-entry bookkeeping
+	switch r.kind {
+	case KindJourney:
+		n := shell
+		if r.journey != nil {
+			n += 48
+			for _, l := range r.journey.Legs {
+				n += 96 + len(l.Train) + len(l.FromName) + len(l.ToName)
+			}
+		}
+		return n
+	case KindProfile:
+		n := shell + 64
+		if r.profile != nil && r.profile.fn != nil {
+			n += r.profile.fn.NumPoints() * 8
+		}
+		return n
+	case KindOneToAll:
+		n := shell
+		if r.all != nil {
+			n += r.all.res.MemBytes()
+		}
+		return n
+	case KindPareto:
+		n := shell
+		if r.pareto != nil {
+			n += r.pareto.res.MemBytes()
+		}
+		return n
+	case KindMatrix:
+		n := shell
+		for _, row := range r.matrix {
+			n += 24 + 4*len(row)
+		}
+		return n
+	default: // earliest-arrival carries only scalars
+		return shell
+	}
+}

@@ -9,9 +9,15 @@
 //	tpbench -ablation heap           # binary vs 4-ary heap
 //	tpbench -ablation stopping       # Theorem 2 work reduction
 //	tpbench -ablation pareto         # multi-criteria extension cost
+//	tpbench -serving http://127.0.0.1:8080 -rate 500 -duration 10s
 //
 // -families, -scale, -queries and -threads bound the run; defaults keep the
 // full harness under a few minutes on a single core.
+//
+// -serving turns tpbench into a client of a running tpserver (the same
+// engine as cmd/tploadgen): open-loop load at -rate for -duration,
+// reporting throughput, latency percentiles, shed rate and cache hit rate;
+// -json writes the machine-readable report.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"transit/internal/bench"
 )
@@ -32,10 +39,23 @@ func main() {
 	threads := flag.Int("threads", 8, "threads for Table 2 queries")
 	seed := flag.Int64("seed", 1, "workload seed")
 	full := flag.Bool("full", false, "include the 30% selection row in Table 2")
+	serving := flag.String("serving", "", "benchmark a running tpserver at this base URL")
+	rate := flag.Float64("rate", 100, "offered requests per second for -serving")
+	duration := flag.Duration("duration", 10*time.Second, "load duration for -serving")
+	jsonPath := flag.String("json", "", "write the -serving report as JSON to this file")
 	flag.Parse()
 
 	families := strings.Split(*familiesFlag, ",")
 	switch {
+	case *serving != "":
+		rep, err := bench.RunServing(bench.ServingConfig{
+			BaseURL: *serving, Rate: *rate, Duration: *duration, Seed: *seed,
+		})
+		check(err)
+		rep.Print(os.Stdout)
+		if *jsonPath != "" {
+			check(rep.WriteJSON(*jsonPath))
+		}
 	case *table == 1:
 		for _, fam := range families {
 			net := load(fam, *scale, *seed)

@@ -1,0 +1,65 @@
+// Command tploadgen drives a running tpserver with open-loop load: it
+// offers requests at a fixed rate — zipf-skewed station popularity, a
+// small departure-time pool, a configurable arrival/journey/profile mix —
+// regardless of how fast the server answers, and reports throughput,
+// latency percentiles, shed rate and cache hit rate. Because the loop is
+// open, pushing -rate past the server's saturation point shows the
+// admission layer doing its job: answered requests keep bounded latency
+// while the excess comes back as clean 429s with Retry-After.
+//
+//	tpserver -generate oahu -listen :8080 &
+//	tploadgen -url http://127.0.0.1:8080 -rate 500 -duration 10s
+//	tploadgen -url http://127.0.0.1:8080 -rate 2000 -duration 10s -json BENCH_serving.json
+//
+// -json writes the same numbers machine-readably (bench.ServingReport).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"transit/internal/bench"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "tpserver base URL")
+	rate := flag.Float64("rate", 100, "offered requests per second")
+	duration := flag.Duration("duration", 10*time.Second, "how long to offer load")
+	stations := flag.Int("stations", 0, "station-ID space to draw from (0 = ask /v1/stations)")
+	zipfS := flag.Float64("zipf-s", 1.4, "zipf skew of station popularity (> 1)")
+	zipfV := flag.Float64("zipf-v", 1, "zipf offset (>= 1)")
+	mixFlag := flag.String("mix", "arrival=6,journey=3,profile=1", "query mix as kind=weight,...")
+	seed := flag.Int64("seed", 1, "workload seed")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request client timeout")
+	jsonPath := flag.String("json", "", "also write the report as JSON to this file")
+	flag.Parse()
+
+	mix, err := bench.ParseMix(*mixFlag)
+	check(err)
+	rep, err := bench.RunServing(bench.ServingConfig{
+		BaseURL:  *url,
+		Rate:     *rate,
+		Duration: *duration,
+		Mix:      mix,
+		Stations: *stations,
+		ZipfS:    *zipfS,
+		ZipfV:    *zipfV,
+		Seed:     *seed,
+		Timeout:  *timeout,
+	})
+	check(err)
+	rep.Print(os.Stdout)
+	if *jsonPath != "" {
+		check(rep.WriteJSON(*jsonPath))
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tploadgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,71 @@
+// Admission control and result caching: every query endpoint answers
+// through s.plan, which composes the epoch-keyed cache (outside) with the
+// weighted admission gate (inside). Cache hits and coalesced waiters never
+// consume an admission slot — only searches that actually run do — so under
+// a spike of popular queries the cache absorbs most of the load and the
+// gate sheds the excess early with 429 + Retry-After instead of letting
+// latency collapse for everyone.
+package main
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http"
+	"strconv"
+
+	"transit"
+	"transit/internal/admit"
+	"transit/internal/live"
+)
+
+// plan answers req against snap through cache and gate. The snapshot is
+// pinned by the caller (one Registry.Snapshot() load per request), and its
+// epoch keys the cache: a delay batch bumps the epoch and every cached
+// answer stops matching instantly.
+func (s *server) plan(ctx context.Context, snap *live.Snapshot, req transit.Request) (*transit.Result, error) {
+	do := func(ctx context.Context, req transit.Request) (*transit.Result, error) {
+		release, err := s.gate.Acquire(ctx, admitWeight(req))
+		if err != nil {
+			var ov *admit.Overload
+			if errors.As(err, &ov) {
+				return nil, transit.NewError(transit.CodeOverloaded,
+					"server overloaded: too many concurrent searches", err)
+			}
+			return nil, err // the queued caller itself went away
+		}
+		defer release()
+		if s.planHook != nil {
+			s.planHook()
+		}
+		return snap.Net.Plan(ctx, req)
+	}
+	res, _, err := s.cache.Plan(ctx, snap.Epoch, req, do)
+	return res, err
+}
+
+// admitWeight prices a request in admission units: a matrix batch runs one
+// search per source, everything else is a single search. The gate clamps
+// to its capacity, so an oversized batch still admits (alone) rather than
+// deadlocking.
+func admitWeight(req transit.Request) int64 {
+	if req.Kind == transit.KindMatrix && len(req.Sources) > 1 {
+		return int64(len(req.Sources))
+	}
+	return 1
+}
+
+// setRetryAfter adds the Retry-After back-off header when err carries an
+// admission-gate rejection (whole seconds, at least one — the HTTP form of
+// *Overload.RetryAfter).
+func setRetryAfter(w http.ResponseWriter, err error) {
+	var ov *admit.Overload
+	if !errors.As(err, &ov) {
+		return
+	}
+	secs := int(math.Ceil(ov.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}

@@ -28,6 +28,19 @@
 // machine-readable codes. All /v1 handlers are thin wrappers over the
 // library's unified transit.Network.Plan entry point.
 //
+// The server degrades gracefully instead of collapsing under load: search
+// work beyond -max-inflight queues for at most -queue-deadline and is then
+// shed with HTTP 429 and a Retry-After header (error code "overloaded"),
+// so admitted queries keep bounded latency while the excess fails fast and
+// cheap. An epoch-keyed result cache (-cache-entries / -cache-bytes)
+// answers repeated identical requests without a search and coalesces
+// concurrent identical requests into one underlying Plan call; applying a
+// delay batch bumps the snapshot epoch, which invalidates every cached
+// answer at zero cost. Both layers are observable on /metrics
+// (tpserver_inflight, tpserver_shed_total, tpserver_cache_*_total) and
+// both apply to the deprecated legacy endpoints too. cmd/tploadgen drives
+// the server at a configurable offered rate to measure this behavior.
+//
 // The unversioned query endpoints predating /v1 remain as deprecated
 // wrappers over the same Plan path (marked with a Deprecation header):
 //
@@ -83,6 +96,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the -pprof side listener
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync/atomic"
@@ -90,12 +104,24 @@ import (
 	"time"
 
 	"transit"
+	"transit/internal/admit"
 	"transit/internal/live"
 )
 
 type server struct {
 	reg     *live.Registry
 	threads int
+
+	// gate bounds concurrent search work (-max-inflight / -queue-deadline);
+	// nil admits everything. cache is the epoch-keyed result cache
+	// (-cache-entries / -cache-bytes); nil caches nothing. Both are wired
+	// through s.plan — see admit.go.
+	gate  *admit.Gate
+	cache *admit.Cache
+
+	// planHook, when set, runs inside an admitted fill just before the
+	// search; tests use it to hold a slot open deterministically.
+	planHook func()
 
 	// queryTimeout is the default per-request deadline of the query
 	// endpoints; clients can shorten it with the X-Deadline-Ms header.
@@ -159,6 +185,13 @@ func main() {
 	threads := flag.Int("threads", 1, "parallel workers per query")
 	queryTimeout := flag.Duration("query-timeout", defaultQueryTimeout,
 		"default per-request query deadline (clients shorten it with X-Deadline-Ms; 0 = none)")
+	maxInflight := flag.Int("max-inflight", 4*runtime.GOMAXPROCS(0),
+		"concurrent search budget; excess requests queue briefly, then shed with 429 (0 = unbounded)")
+	queueDeadline := flag.Duration("queue-deadline", 100*time.Millisecond,
+		"how long a request may wait for an admission slot before being shed")
+	cacheEntries := flag.Int("cache-entries", 4096, "result cache capacity in entries (0 = caching off)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20,
+		"result cache memory bound in approximate result bytes (0 = entry bound only)")
 	listen := flag.String("listen", ":8080", "listen address")
 	pprofAddr := flag.String("pprof", "", "side listener for net/http/pprof (e.g. 127.0.0.1:6060; empty = off)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 15*time.Second, "graceful-shutdown drain budget")
@@ -239,6 +272,12 @@ func main() {
 	}
 	s := newServer(reg, *threads)
 	s.queryTimeout = *queryTimeout
+	if *maxInflight > 0 {
+		s.gate = admit.NewGate(int64(*maxInflight), *queueDeadline)
+	}
+	if *cacheEntries > 0 {
+		s.cache = admit.NewCache(*cacheEntries, *cacheBytes)
+	}
 	log.Printf("ready in %v (epoch %d)", time.Since(start).Round(time.Millisecond), state.Epoch)
 
 	srv := &http.Server{
@@ -265,6 +304,12 @@ func main() {
 		if err := srv.Shutdown(sctx); err != nil {
 			log.Printf("tpserver: shutdown: %v", err)
 		}
+		// The listener is closed; wait out searches still holding admission
+		// slots, then refuse any straggler before the registry goes away.
+		if err := s.gate.Drain(sctx); err != nil {
+			log.Printf("tpserver: admit drain: %v", err)
+		}
+		s.gate.Close()
 		reg.Close() // wait for background re-preprocessing, release the last snapshot
 		log.Printf("bye (final epoch %d)", reg.Snapshot().Epoch)
 	}
@@ -334,7 +379,12 @@ func parsePair(n *transit.Network, r *http.Request) (from, to transit.StationID,
 }
 
 func (s *server) arrival(w http.ResponseWriter, r *http.Request) {
-	n := s.reg.Snapshot().Net // one load: the whole request sees this version
+	if err := r.Context().Err(); err != nil {
+		s.legacyError(w, err) // already hung up: no admission slot, no cache fill
+		return
+	}
+	snap := s.reg.Snapshot() // one load: the whole request sees this version
+	n := snap.Net
 	from, to, err := parsePair(n, r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -347,7 +397,7 @@ func (s *server) arrival(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
-	res, err := n.Plan(ctx, transit.Request{
+	res, err := s.plan(ctx, snap, transit.Request{
 		Kind: transit.KindEarliestArrival, From: from, To: to, Depart: dep,
 		Options: transit.Options{Threads: s.threads},
 	})
@@ -372,7 +422,12 @@ func (s *server) arrival(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) profile(w http.ResponseWriter, r *http.Request) {
-	n := s.reg.Snapshot().Net
+	if err := r.Context().Err(); err != nil {
+		s.legacyError(w, err)
+		return
+	}
+	snap := s.reg.Snapshot()
+	n := snap.Net
 	from, to, err := parsePair(n, r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -380,7 +435,7 @@ func (s *server) profile(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
-	res, err := n.Plan(ctx, transit.Request{
+	res, err := s.plan(ctx, snap, transit.Request{
 		Kind: transit.KindProfile, From: from, To: to,
 		Options: transit.Options{Threads: s.threads},
 	})
@@ -417,7 +472,12 @@ func (s *server) profile(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) journey(w http.ResponseWriter, r *http.Request) {
-	n := s.reg.Snapshot().Net
+	if err := r.Context().Err(); err != nil {
+		s.legacyError(w, err)
+		return
+	}
+	snap := s.reg.Snapshot()
+	n := snap.Net
 	from, to, err := parsePair(n, r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -430,7 +490,7 @@ func (s *server) journey(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
-	res, err := n.Plan(ctx, transit.Request{
+	res, err := s.plan(ctx, snap, transit.Request{
 		Kind: transit.KindJourney, From: from, To: to, Depart: dep,
 		Options: transit.Options{Threads: s.threads},
 	})
@@ -569,6 +629,17 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "tpserver_persist_total %d\n", m.PersistsTotal)
 	fmt.Fprintf(w, "tpserver_persist_errors_total %d\n", m.PersistErrors)
 	fmt.Fprintf(w, "tpserver_queries_cancelled_total %d\n", s.cancelled.Load())
+	// Admission gate and result cache (all nil-safe: zeros when disabled).
+	fmt.Fprintf(w, "tpserver_inflight %d\n", s.gate.Inflight())
+	fmt.Fprintf(w, "tpserver_admit_queued %d\n", s.gate.Queued())
+	fmt.Fprintf(w, "tpserver_admitted_total %d\n", s.gate.Admitted())
+	fmt.Fprintf(w, "tpserver_shed_total %d\n", s.gate.Shed())
+	cs := s.cache.Stats()
+	fmt.Fprintf(w, "tpserver_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "tpserver_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "tpserver_cache_coalesced_total %d\n", cs.Coalesced)
+	fmt.Fprintf(w, "tpserver_cache_entries %d\n", cs.Entries)
+	fmt.Fprintf(w, "tpserver_cache_bytes %d\n", cs.Bytes)
 	names := make([]string, 0, len(s.hits))
 	for name := range s.hits {
 		names = append(names, name)

@@ -48,12 +48,14 @@ func (s *server) queryContext(r *http.Request) (context.Context, context.CancelF
 }
 
 // v1Error writes the structured error envelope and counts abandoned
-// queries.
+// queries. Overload rejections additionally carry the Retry-After back-off
+// header.
 func (s *server) v1Error(w http.ResponseWriter, err error) {
 	code := transit.ErrorCodeOf(err)
 	if code == transit.CodeCancelled || code == transit.CodeDeadlineExceeded {
 		s.cancelled.Add(1)
 	}
+	setRetryAfter(w, err)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(apiv1.HTTPStatus(code))
 	if err := json.NewEncoder(w).Encode(apiv1.NewErrorResponse(err)); err != nil {
@@ -125,7 +127,14 @@ func decodePlanRequest(w http.ResponseWriter, r *http.Request) (*apiv1.PlanReque
 // render.
 func (s *server) v1Query(kind transit.Kind) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		n := s.reg.Snapshot().Net // one load: the whole request sees this version
+		// A client that already hung up gets no admission slot and no cache
+		// fill: reject before any work is priced or queued.
+		if err := r.Context().Err(); err != nil {
+			s.v1Error(w, err)
+			return
+		}
+		snap := s.reg.Snapshot() // one load: the whole request sees this version
+		n := snap.Net
 		preq, err := decodePlanRequest(w, r)
 		if err != nil {
 			s.v1Error(w, err)
@@ -146,7 +155,7 @@ func (s *server) v1Query(kind transit.Kind) http.HandlerFunc {
 		}
 		ctx, cancel := s.queryContext(r)
 		defer cancel()
-		res, err := n.Plan(ctx, req)
+		res, err := s.plan(ctx, snap, req)
 		if err != nil {
 			s.v1Error(w, err)
 			return
@@ -206,6 +215,7 @@ func (s *server) legacyError(w http.ResponseWriter, err error) {
 	if code == transit.CodeCancelled || code == transit.CodeDeadlineExceeded {
 		s.cancelled.Add(1)
 	}
+	setRetryAfter(w, err)
 	msg := err.Error()
 	msg = strings.TrimPrefix(msg, "transit: ")
 	http.Error(w, msg, apiv1.HTTPStatus(code))

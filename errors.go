@@ -42,6 +42,12 @@ const (
 	// CodeDeadlineExceeded marks a query abandoned because the caller's
 	// context deadline passed.
 	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
+	// CodeOverloaded marks a query shed by admission control before it ran:
+	// the server is at its concurrent-search budget and the request did not
+	// get a slot within the queue deadline. The work was rejected early and
+	// cheaply — clients should back off for the Retry-After hint of the
+	// HTTP response and then retry the identical request.
+	CodeOverloaded ErrorCode = "overloaded"
 	// CodeInternal marks everything else.
 	CodeInternal ErrorCode = "internal"
 )
@@ -68,6 +74,14 @@ func (e *Error) Unwrap() error { return e.err }
 
 func errf(code ErrorCode, field, format string, args ...any) *Error {
 	return &Error{Code: code, Field: field, Message: fmt.Sprintf(format, args...)}
+}
+
+// NewError builds a typed *Error wrapping cause (which may be nil).
+// errors.Is/As see through to the cause, so callers layering their own
+// typed errors under a transit code — the server's admission layer wraps
+// its overload rejection this way — lose nothing.
+func NewError(code ErrorCode, message string, cause error) *Error {
+	return &Error{Code: code, Message: message, err: cause}
 }
 
 // ErrorCodeOf classifies any error into an ErrorCode: a *transit.Error

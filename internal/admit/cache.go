@@ -1,0 +1,277 @@
+package admit
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"transit"
+)
+
+// PlanFunc computes a result the cache could not serve — in tpserver it is
+// the gate-guarded call into transit.Network.Plan.
+type PlanFunc func(context.Context, transit.Request) (*transit.Result, error)
+
+// Outcome reports how a Cache.Plan call was answered.
+type Outcome uint8
+
+const (
+	// Bypass: the cache did not apply (nil cache or uncacheable request).
+	Bypass Outcome = iota
+	// Miss: this call ran the fill itself and populated the cache.
+	Miss
+	// Hit: served from a stored entry, no work ran.
+	Hit
+	// Coalesced: an identical fill was already in flight; this call waited
+	// for it and shared its result.
+	Coalesced
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Miss:
+		return "miss"
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	default:
+		return "bypass"
+	}
+}
+
+type ckey struct {
+	epoch uint64
+	key   string
+}
+
+type entry struct {
+	k    ckey
+	val  *transit.Result
+	size int64
+}
+
+// call is one in-flight fill; done is closed after val/err are final.
+type call struct {
+	done chan struct{}
+	val  *transit.Result
+	err  error
+}
+
+// Cache is an epoch-keyed in-process result cache with singleflight
+// coalescing. Entries are keyed on (live delay epoch, canonical Request
+// serialization): when the live registry applies a delay batch or swaps a
+// snapshot it bumps the epoch, and every cached answer is invalidated for
+// free — the new epoch's keys can never match, and stale entries are
+// pruned on the first access that observes the new epoch. Memory is
+// bounded twice: by entry count and by the sum of approximate result bytes
+// (transit.Result.ApproxBytes), evicting least-recently-used first.
+//
+// Concurrent identical requests coalesce: one fill runs, the rest wait and
+// share its *Result. Cached results are shared read-only across goroutines
+// — they are safe for that because Cache.Plan strips Request.Reuse before
+// filling (the stored shell is fresh heap memory, never a caller-pooled
+// shell, and Plan-detached results alias no pooled workspace arrays).
+type Cache struct {
+	maxEntries int
+	maxBytes   int64
+
+	mu    sync.Mutex
+	lru   list.List // of *entry, front = most recent
+	items map[ckey]*list.Element
+	calls map[ckey]*call
+	bytes int64
+	epoch uint64 // highest epoch observed; older entries are stale
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	waiting   atomic.Int64
+}
+
+// NewCache builds a cache bounded to maxEntries entries (must be > 0) and
+// maxBytes approximate result bytes (<= 0: entry bound only).
+func NewCache(maxEntries int, maxBytes int64) *Cache {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		items:      make(map[ckey]*list.Element),
+		calls:      make(map[ckey]*call),
+	}
+}
+
+// Plan answers req at the given epoch through the cache: a stored entry is
+// returned as-is, an in-flight identical fill is joined, and otherwise
+// this call fills by running do. Errors are never cached; a fill that
+// failed because *its* caller was cancelled (not ours) is retried by the
+// waiters whose contexts are still live, so one impatient client cannot
+// poison the answer for the rest. A nil cache (or a request with no
+// canonical key) bypasses straight to do.
+//
+// Request.Reuse interaction: the fill runs with Reuse stripped, so the
+// cached shell is detached heap memory; when the caller passed a Reuse
+// shell, the cached value is copied into it and the shell returned, same
+// as Plan's own contract.
+func (c *Cache) Plan(ctx context.Context, epoch uint64, req transit.Request, do PlanFunc) (*transit.Result, Outcome, error) {
+	if c == nil {
+		res, err := do(ctx, req)
+		return res, Bypass, err
+	}
+	key := req.CacheKey()
+	if key == "" {
+		res, err := do(ctx, req)
+		return res, Bypass, err
+	}
+	reuse := req.Reuse
+	req.Reuse = nil
+	k := ckey{epoch: epoch, key: key}
+	for {
+		c.mu.Lock()
+		c.pruneStaleLocked(epoch)
+		if e, ok := c.items[k]; ok {
+			c.lru.MoveToFront(e)
+			val := e.Value.(*entry).val
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return deliver(val, reuse), Hit, nil
+		}
+		if ca, ok := c.calls[k]; ok {
+			c.mu.Unlock()
+			c.waiting.Add(1)
+			select {
+			case <-ca.done:
+			case <-ctx.Done():
+				c.waiting.Add(-1)
+				return nil, Coalesced, ctx.Err()
+			}
+			c.waiting.Add(-1)
+			if ca.err == nil {
+				c.coalesced.Add(1)
+				return deliver(ca.val, reuse), Coalesced, nil
+			}
+			if cancellation(ca.err) && ctx.Err() == nil {
+				// The filler's client went away, not ours: try again (we
+				// may become the new filler).
+				continue
+			}
+			c.coalesced.Add(1)
+			return nil, Coalesced, ca.err
+		}
+		ca := &call{done: make(chan struct{})}
+		c.calls[k] = ca
+		c.mu.Unlock()
+		c.misses.Add(1)
+		ca.val, ca.err = do(ctx, req)
+		c.mu.Lock()
+		delete(c.calls, k)
+		if ca.err == nil {
+			c.addLocked(k, ca.val)
+		}
+		c.mu.Unlock()
+		close(ca.done)
+		if ca.err != nil {
+			return nil, Miss, ca.err
+		}
+		return deliver(ca.val, reuse), Miss, nil
+	}
+}
+
+// cancellation reports whether err is a caller-abandonment failure (worth
+// retrying for a waiter whose own context is live) rather than a real
+// answer.
+func cancellation(err error) bool {
+	switch transit.ErrorCodeOf(err) {
+	case transit.CodeCancelled, transit.CodeDeadlineExceeded:
+		return true
+	}
+	return false
+}
+
+// deliver hands the shared cached value out, honoring a caller's Reuse
+// shell: the value is copied into it (shallow — internals stay shared
+// read-only) so steady-state callers keep their allocation profile.
+func deliver(val, reuse *transit.Result) *transit.Result {
+	if reuse != nil {
+		*reuse = *val
+		return reuse
+	}
+	return val
+}
+
+// pruneStaleLocked drops every entry of an older epoch the first time a
+// newer one is observed. Epochs are monotone (live.Registry bumps them on
+// every applied batch), so one linear sweep per bump reclaims all dead
+// entries at once instead of letting them squat in the LRU.
+func (c *Cache) pruneStaleLocked(epoch uint64) {
+	if epoch <= c.epoch {
+		return
+	}
+	c.epoch = epoch
+	for e := c.lru.Front(); e != nil; {
+		next := e.Next()
+		if ent := e.Value.(*entry); ent.k.epoch < epoch {
+			c.removeLocked(e)
+		}
+		e = next
+	}
+}
+
+// addLocked inserts a filled entry and evicts LRU until bounds hold.
+// Fills keyed to an epoch older than the newest observed are already stale
+// and are not stored.
+func (c *Cache) addLocked(k ckey, val *transit.Result) {
+	if k.epoch < c.epoch {
+		return
+	}
+	if _, ok := c.items[k]; ok {
+		return // a concurrent fill of the same key won the race
+	}
+	ent := &entry{k: k, val: val, size: int64(val.ApproxBytes() + len(k.key))}
+	c.items[k] = c.lru.PushFront(ent)
+	c.bytes += ent.size
+	for c.lru.Len() > 0 &&
+		(c.lru.Len() > c.maxEntries || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
+		c.removeLocked(c.lru.Back())
+	}
+}
+
+func (c *Cache) removeLocked(e *list.Element) {
+	ent := e.Value.(*entry)
+	c.lru.Remove(e)
+	delete(c.items, ent.k)
+	c.bytes -= ent.size
+}
+
+// CacheStats is a point-in-time view of the cache counters.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Coalesced uint64
+	Entries   int
+	Bytes     int64
+	// Waiting is the number of goroutines currently blocked on an
+	// in-flight fill (a gauge, mainly for tests and debugging).
+	Waiting int64
+}
+
+// Stats reads the counters. Safe on a nil cache (all zeros).
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	entries, bytes := c.lru.Len(), c.bytes
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Entries:   entries,
+		Bytes:     bytes,
+		Waiting:   c.waiting.Load(),
+	}
+}

@@ -1,0 +1,410 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"transit"
+)
+
+func profileReq(from, to transit.StationID) transit.Request {
+	return transit.Request{Kind: transit.KindProfile, From: from, To: to}
+}
+
+// countingPlan returns a PlanFunc that counts invocations and returns a
+// fresh Result shell per call.
+func countingPlan(calls *int) PlanFunc {
+	return func(ctx context.Context, req transit.Request) (*transit.Result, error) {
+		*calls++
+		return &transit.Result{}, nil
+	}
+}
+
+func TestCacheMissThenHit(t *testing.T) {
+	c := NewCache(16, 0)
+	calls := 0
+	do := countingPlan(&calls)
+
+	res1, out, err := c.Plan(context.Background(), 1, profileReq(0, 1), do)
+	if err != nil || out != Miss {
+		t.Fatalf("first call: outcome %v err %v, want miss/nil", out, err)
+	}
+	res2, out, err := c.Plan(context.Background(), 1, profileReq(0, 1), do)
+	if err != nil || out != Hit {
+		t.Fatalf("second call: outcome %v err %v, want hit/nil", out, err)
+	}
+	if res1 != res2 {
+		t.Fatal("hit returned a different Result than the fill")
+	}
+	if calls != 1 {
+		t.Fatalf("do ran %d times, want 1", calls)
+	}
+	// A different request misses.
+	if _, out, _ := c.Plan(context.Background(), 1, profileReq(0, 2), do); out != Miss {
+		t.Fatalf("distinct request: outcome %v, want miss", out)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 hit / 2 misses / 2 entries", st)
+	}
+	if st.Bytes <= 0 {
+		t.Fatalf("Bytes = %d, want positive", st.Bytes)
+	}
+}
+
+func TestCacheEpochBumpInvalidates(t *testing.T) {
+	c := NewCache(16, 0)
+	calls := 0
+	do := countingPlan(&calls)
+	req := profileReq(0, 1)
+
+	c.Plan(context.Background(), 1, req, do)
+	c.Plan(context.Background(), 1, req, do) // hit
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 before bump", calls)
+	}
+	// Epoch bump: the same request must recompute, and the stale entry is
+	// swept on first contact with the new epoch.
+	if _, out, _ := c.Plan(context.Background(), 2, req, do); out != Miss {
+		t.Fatalf("post-bump outcome %v, want miss", out)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 after bump", calls)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("Entries = %d after prune, want 1 (stale swept)", st.Entries)
+	}
+	// An old-epoch request after the bump must not resurrect or store stale
+	// data (epochs are monotone in production; a laggard reader computing
+	// against an old snapshot simply doesn't cache).
+	before := c.Stats().Entries
+	if _, out, _ := c.Plan(context.Background(), 1, profileReq(0, 9), do); out != Miss {
+		t.Fatal("old-epoch request should miss")
+	}
+	if st := c.Stats(); st.Entries != before {
+		t.Fatalf("old-epoch fill was stored: %d entries, want %d", st.Entries, before)
+	}
+}
+
+func TestCacheSingleflightCoalesces(t *testing.T) {
+	c := NewCache(16, 0)
+	const followers = 7
+	gate := make(chan struct{})
+	fills := 0
+	do := func(ctx context.Context, req transit.Request) (*transit.Result, error) {
+		fills++
+		<-gate
+		return &transit.Result{}, nil
+	}
+	req := profileReq(3, 4)
+
+	results := make([]*transit.Result, followers+1)
+	outs := make([]Outcome, followers+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // leader
+		defer wg.Done()
+		results[0], outs[0], _ = c.Plan(context.Background(), 1, req, do)
+	}()
+	// Wait until the leader is inside do (registered its call), then pile on.
+	waitFor(t, func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return len(c.calls) == 1
+	})
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], outs[i], _ = c.Plan(context.Background(), 1, req, do)
+		}(i)
+	}
+	waitFor(t, func() bool { return c.Stats().Waiting == followers })
+	close(gate)
+	wg.Wait()
+
+	if fills != 1 {
+		t.Fatalf("fill ran %d times, want 1", fills)
+	}
+	nMiss, nCoal := 0, 0
+	for i, out := range outs {
+		switch out {
+		case Miss:
+			nMiss++
+		case Coalesced:
+			nCoal++
+		default:
+			t.Fatalf("caller %d outcome %v", i, out)
+		}
+		if results[i] != results[0] {
+			t.Fatal("coalesced caller got a different Result")
+		}
+	}
+	if nMiss != 1 || nCoal != followers {
+		t.Fatalf("miss/coalesced = %d/%d, want 1/%d", nMiss, nCoal, followers)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Coalesced != followers || st.Waiting != 0 {
+		t.Fatalf("stats = %+v, want 1 miss / %d coalesced / 0 waiting", st, followers)
+	}
+}
+
+func TestCacheEntryEviction(t *testing.T) {
+	c := NewCache(3, 0)
+	calls := 0
+	do := countingPlan(&calls)
+	for i := 0; i < 5; i++ {
+		c.Plan(context.Background(), 1, profileReq(0, transit.StationID(i)), do)
+	}
+	if st := c.Stats(); st.Entries != 3 {
+		t.Fatalf("Entries = %d, want capped at 3", st.Entries)
+	}
+	// Oldest (To=0, To=1) were evicted; newest three still hit.
+	for i := 2; i < 5; i++ {
+		if _, out, _ := c.Plan(context.Background(), 1, profileReq(0, transit.StationID(i)), do); out != Hit {
+			t.Fatalf("entry %d: outcome %v, want hit", i, out)
+		}
+	}
+	if _, out, _ := c.Plan(context.Background(), 1, profileReq(0, 0), do); out != Miss {
+		t.Fatal("evicted entry still hit")
+	}
+	// Touching an entry protects it: hit To=2 then add two more — To=2
+	// must survive, the untouched ones go.
+	c.Plan(context.Background(), 1, profileReq(0, 2), do)
+	c.Plan(context.Background(), 1, profileReq(0, 10), do)
+	c.Plan(context.Background(), 1, profileReq(0, 11), do)
+	if _, out, _ := c.Plan(context.Background(), 1, profileReq(0, 2), do); out != Hit {
+		t.Fatal("recently used entry was evicted before older ones")
+	}
+}
+
+func TestCacheByteBoundEviction(t *testing.T) {
+	// Each zero-Result entry costs ApproxBytes (shell 160) + key length;
+	// a 400-byte budget holds at most two such entries.
+	c := NewCache(1024, 400)
+	calls := 0
+	do := countingPlan(&calls)
+	for i := 0; i < 4; i++ {
+		c.Plan(context.Background(), 1, profileReq(0, transit.StationID(i)), do)
+	}
+	st := c.Stats()
+	if st.Entries >= 4 {
+		t.Fatalf("Entries = %d, want byte bound to evict below 4", st.Entries)
+	}
+	if st.Bytes > 400 {
+		t.Fatalf("Bytes = %d, want <= 400", st.Bytes)
+	}
+}
+
+func TestCacheReuseShellDelivery(t *testing.T) {
+	c := NewCache(16, 0)
+	var sawReuse bool
+	do := func(ctx context.Context, req transit.Request) (*transit.Result, error) {
+		// The fill must never see the caller's shell: the cached value has
+		// to be detached heap memory.
+		if req.Reuse != nil {
+			sawReuse = true
+		}
+		return &transit.Result{}, nil
+	}
+	shell := &transit.Result{}
+	req := profileReq(5, 6)
+	req.Reuse = shell
+	res, out, err := c.Plan(context.Background(), 1, req, do)
+	if err != nil || out != Miss {
+		t.Fatalf("outcome %v err %v", out, err)
+	}
+	if sawReuse {
+		t.Fatal("fill ran with Reuse set")
+	}
+	if res != shell {
+		t.Fatal("caller's Reuse shell was not honored")
+	}
+	// Corrupting the caller's shell must not corrupt the cached value.
+	*shell = transit.Result{}
+	res2, out, _ := c.Plan(context.Background(), 1, profileReq(5, 6), do)
+	if out != Hit {
+		t.Fatalf("outcome %v, want hit", out)
+	}
+	if res2 == shell {
+		t.Fatal("cache stored the caller's shell")
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := NewCache(16, 0)
+	calls := 0
+	boom := errors.New("boom")
+	do := func(ctx context.Context, req transit.Request) (*transit.Result, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return &transit.Result{}, nil
+	}
+	req := profileReq(0, 1)
+	if _, _, err := c.Plan(context.Background(), 1, req, do); !errors.Is(err, boom) {
+		t.Fatalf("first call err = %v, want boom", err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatal("error was cached")
+	}
+	if _, out, err := c.Plan(context.Background(), 1, req, do); err != nil || out != Miss {
+		t.Fatalf("retry after error: outcome %v err %v", out, err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+}
+
+func TestCacheCancelledFillRetriedByLiveWaiter(t *testing.T) {
+	c := NewCache(16, 0)
+	gate := make(chan struct{})
+	fills := 0
+	var mu sync.Mutex
+	do := func(ctx context.Context, req transit.Request) (*transit.Result, error) {
+		mu.Lock()
+		n := fills
+		fills++
+		mu.Unlock()
+		if n == 0 {
+			<-gate
+			// The leader's client hung up mid-search.
+			return nil, transit.NewError(transit.CodeCancelled, "query cancelled", context.Canceled)
+		}
+		return &transit.Result{}, nil
+	}
+	req := profileReq(7, 8)
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Plan(context.Background(), 1, req, do)
+		leaderErr <- err
+	}()
+	waitFor(t, func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return len(c.calls) == 1
+	})
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Plan(context.Background(), 1, req, do)
+		waiterDone <- err
+	}()
+	waitFor(t, func() bool { return c.Stats().Waiting == 1 })
+	close(gate)
+
+	if err := <-leaderErr; transit.ErrorCodeOf(err) != transit.CodeCancelled {
+		t.Fatalf("leader err = %v, want cancelled", err)
+	}
+	// The waiter's own context was live, so it must have retried (becoming
+	// the new filler) and gotten a real answer.
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("waiter err = %v, want success after retry", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if fills != 2 {
+		t.Fatalf("fills = %d, want 2 (cancelled leader + retrying waiter)", fills)
+	}
+}
+
+func TestCacheWaiterOwnContextCancelled(t *testing.T) {
+	c := NewCache(16, 0)
+	gate := make(chan struct{})
+	do := func(ctx context.Context, req transit.Request) (*transit.Result, error) {
+		<-gate
+		return &transit.Result{}, nil
+	}
+	req := profileReq(1, 2)
+	go c.Plan(context.Background(), 1, req, do)
+	waitFor(t, func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return len(c.calls) == 1
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Plan(ctx, 1, req, do)
+		waiterDone <- err
+	}()
+	waitFor(t, func() bool { return c.Stats().Waiting == 1 })
+	cancel()
+	select {
+	case err := <-waiterDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter did not return")
+	}
+	close(gate)
+}
+
+func TestCacheBypass(t *testing.T) {
+	calls := 0
+	do := countingPlan(&calls)
+	// Nil cache runs do directly.
+	var nc *Cache
+	if _, out, err := nc.Plan(context.Background(), 1, profileReq(0, 1), do); err != nil || out != Bypass {
+		t.Fatalf("nil cache: outcome %v err %v", out, err)
+	}
+	if nc.Stats() != (CacheStats{}) {
+		t.Fatal("nil cache stats not zero")
+	}
+	// Unknown kind has no key and bypasses too.
+	c := NewCache(16, 0)
+	if _, out, err := c.Plan(context.Background(), 1, transit.Request{Kind: "bogus"}, do); err != nil || out != Bypass {
+		t.Fatalf("keyless request: outcome %v err %v", out, err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Misses != 0 {
+		t.Fatalf("bypass touched cache state: %+v", st)
+	}
+}
+
+// TestCacheStress mixes hits, misses, coalescing and epoch bumps across
+// goroutines under -race.
+func TestCacheStress(t *testing.T) {
+	c := NewCache(32, 1<<20)
+	do := func(ctx context.Context, req transit.Request) (*transit.Result, error) {
+		time.Sleep(20 * time.Microsecond)
+		if req.To%13 == 5 {
+			return nil, fmt.Errorf("synthetic failure for %d", req.To)
+		}
+		return &transit.Result{}, nil
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				epoch := uint64(1 + i/100) // mid-run epoch bump
+				req := profileReq(transit.StationID(w%4), transit.StationID(i%40))
+				res, _, err := c.Plan(context.Background(), epoch, req, do)
+				if err == nil && res == nil {
+					t.Error("nil result without error")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries > 32 {
+		t.Fatalf("Entries = %d, want <= 32", st.Entries)
+	}
+	if st.Waiting != 0 {
+		t.Fatalf("Waiting = %d after quiesce, want 0", st.Waiting)
+	}
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("stress produced no mix: %+v", st)
+	}
+}

@@ -1,0 +1,23 @@
+// Package admit keeps tpserver standing up under more load than it can
+// serve. It contributes two cooperating pieces, both dependency-free:
+//
+// Gate is a weighted admission semaphore with a short FIFO
+// queue-with-deadline. Search work beyond the configured concurrency
+// budget waits briefly for a slot and is otherwise rejected early with a
+// typed *Overload carrying a Retry-After hint — CPU is spent answering the
+// queries that will finish, not thrashing between hundreds that won't.
+//
+// Cache is an epoch-keyed in-process result cache with singleflight
+// coalescing. Keys combine the live delay epoch with the canonical request
+// serialization (transit.Request.CacheKey), so correctness under live
+// updates costs nothing: applying a delay batch bumps the epoch, old
+// entries stop matching instantly and are swept on the next access.
+// Identical concurrent requests share one underlying search. Memory is
+// bounded by entry count and by approximate result bytes, LRU-evicted.
+//
+// The intended composition (what tpserver does) is cache outside, gate
+// inside: Cache.Plan(ctx, epoch, req, do) where do acquires the Gate and
+// then runs the search. Hits and coalesced waiters then cost no admission
+// slot — under a spike of popular queries the cache absorbs most of the
+// load and the gate bounds what remains.
+package admit

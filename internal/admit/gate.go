@@ -1,0 +1,272 @@
+package admit
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Overload is the typed rejection of the admission gate: the server is at
+// its concurrent-search budget and the request did not get a slot within
+// the queue deadline (or the queue itself was full). It is cheap by
+// construction — no search ran — and carries the back-off hint the HTTP
+// layer turns into a Retry-After header.
+type Overload struct {
+	// RetryAfter is the suggested client back-off before retrying, always
+	// at least one second.
+	RetryAfter time.Duration
+}
+
+func (o *Overload) Error() string { return "admit: server overloaded" }
+
+// Gate is a weighted admission semaphore with a short FIFO
+// queue-with-deadline. Up to Capacity units of search work run
+// concurrently; excess requests wait briefly for a slot and are shed with
+// a typed *Overload when the deadline passes, the queue is full, or the
+// gate is closed — so under a traffic spike latency of admitted work stays
+// bounded and the rest fails fast instead of piling onto the scheduler.
+//
+// Waiters are granted strictly in FIFO order (no light-weight bypass), so
+// heavy requests cannot starve behind a stream of cheap ones.
+type Gate struct {
+	capacity int64
+	deadline time.Duration
+	maxQueue int
+	retry    time.Duration
+
+	mu     sync.Mutex
+	cur    int64
+	queue  list.List // of *waiter, front = oldest
+	closed bool
+
+	admitted atomic.Uint64
+	shed     atomic.Uint64
+	queued   atomic.Int64
+}
+
+type waiter struct {
+	weight int64
+	ready  chan error // buffered 1: nil = admitted, *Overload = shed by Close
+	elem   *list.Element
+}
+
+// NewGate builds a gate admitting capacity units of concurrent work, with
+// queued waiters shed after queueDeadline. The queue holds at most
+// 4×capacity waiters (at least 16): long queues only convert overload into
+// latency, so beyond a short burst buffer shedding immediately is kinder.
+func NewGate(capacity int64, queueDeadline time.Duration) *Gate {
+	if capacity < 1 {
+		capacity = 1
+	}
+	maxQueue := int(4 * capacity)
+	if maxQueue < 16 {
+		maxQueue = 16
+	}
+	retry := queueDeadline.Round(time.Second)
+	if retry < queueDeadline {
+		retry += time.Second
+	}
+	if retry < time.Second {
+		retry = time.Second
+	}
+	return &Gate{capacity: capacity, deadline: queueDeadline, maxQueue: maxQueue, retry: retry}
+}
+
+func (g *Gate) overload() *Overload { return &Overload{RetryAfter: g.retry} }
+
+// Acquire obtains weight units of admission (clamped to [1, Capacity]) and
+// returns the release function to call when the work is done. On shed it
+// returns a *Overload; when ctx is cancelled while queued it returns
+// ctx.Err() (the caller went away — that is a cancellation, not load
+// shedding, and is not counted as shed). A nil gate admits everything.
+func (g *Gate) Acquire(ctx context.Context, weight int64) (func(), error) {
+	if g == nil {
+		return func() {}, nil
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > g.capacity {
+		weight = g.capacity
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		g.shed.Add(1)
+		return nil, g.overload()
+	}
+	if g.queue.Len() == 0 && g.cur+weight <= g.capacity {
+		g.cur += weight
+		g.mu.Unlock()
+		g.admitted.Add(1)
+		return g.releaser(weight), nil
+	}
+	if g.queue.Len() >= g.maxQueue {
+		g.mu.Unlock()
+		g.shed.Add(1)
+		return nil, g.overload()
+	}
+	w := &waiter{weight: weight, ready: make(chan error, 1)}
+	w.elem = g.queue.PushBack(w)
+	g.queued.Add(1)
+	g.mu.Unlock()
+	defer g.queued.Add(-1)
+
+	timer := time.NewTimer(g.deadline)
+	defer timer.Stop()
+	select {
+	case err := <-w.ready:
+		return g.granted(weight, err)
+	case <-ctx.Done():
+		if g.abandon(w) {
+			return nil, ctx.Err()
+		}
+		// A grant raced the cancellation: take it, hand the slot straight
+		// back, and report the cancellation.
+		if err := <-w.ready; err != nil {
+			g.shed.Add(1)
+			return nil, err
+		}
+		g.releaser(weight)()
+		return nil, ctx.Err()
+	case <-timer.C:
+		if g.abandon(w) {
+			g.shed.Add(1)
+			return nil, g.overload()
+		}
+		// A grant raced the deadline: the slot is ours, serve the request.
+		return g.granted(weight, <-w.ready)
+	}
+}
+
+// granted finishes an Acquire whose waiter received a verdict.
+func (g *Gate) granted(weight int64, err error) (func(), error) {
+	if err != nil {
+		g.shed.Add(1)
+		return nil, err
+	}
+	g.admitted.Add(1)
+	return g.releaser(weight), nil
+}
+
+// abandon removes a still-queued waiter, reporting false when a grant got
+// there first (the verdict is then already in w.ready).
+func (g *Gate) abandon(w *waiter) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if w.elem == nil {
+		return false
+	}
+	g.queue.Remove(w.elem)
+	w.elem = nil
+	// Removing a heavy head may unblock lighter successors.
+	g.grantLocked()
+	return true
+}
+
+// grantLocked admits queued waiters in FIFO order while they fit.
+func (g *Gate) grantLocked() {
+	for g.queue.Len() > 0 {
+		w := g.queue.Front().Value.(*waiter)
+		if g.cur+w.weight > g.capacity {
+			return
+		}
+		g.queue.Remove(w.elem)
+		w.elem = nil
+		g.cur += w.weight
+		w.ready <- nil
+	}
+}
+
+// releaser hands back weight units exactly once, no matter how often the
+// returned function is called.
+func (g *Gate) releaser(weight int64) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.mu.Lock()
+			g.cur -= weight
+			g.grantLocked()
+			g.mu.Unlock()
+		})
+	}
+}
+
+// Close sheds every queued waiter and makes all future Acquires fail
+// immediately with *Overload. In-flight admissions keep their slots until
+// released.
+func (g *Gate) Close() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return
+	}
+	g.closed = true
+	for g.queue.Len() > 0 {
+		w := g.queue.Front().Value.(*waiter)
+		g.queue.Remove(w.elem)
+		w.elem = nil
+		w.ready <- g.overload()
+	}
+}
+
+// Drain blocks until no work is admitted or queued, or ctx expires. It is
+// the graceful-shutdown hook: after the listener stops accepting, Drain
+// waits out the queue before the registry and process exit.
+func (g *Gate) Drain(ctx context.Context) error {
+	if g == nil {
+		return nil
+	}
+	for {
+		g.mu.Lock()
+		idle := g.cur == 0 && g.queue.Len() == 0
+		g.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// Inflight returns the admitted weight currently running.
+func (g *Gate) Inflight() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cur
+}
+
+// Queued returns the number of requests waiting for admission.
+func (g *Gate) Queued() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.queued.Load()
+}
+
+// Admitted returns the total number of granted admissions.
+func (g *Gate) Admitted() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.admitted.Load()
+}
+
+// Shed returns the total number of requests rejected with *Overload.
+func (g *Gate) Shed() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.shed.Load()
+}

@@ -1,0 +1,316 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGateAdmitsUpToCapacity(t *testing.T) {
+	g := NewGate(3, time.Millisecond)
+	var rels []func()
+	for i := 0; i < 3; i++ {
+		rel, err := g.Acquire(context.Background(), 1)
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		rels = append(rels, rel)
+	}
+	if got := g.Inflight(); got != 3 {
+		t.Fatalf("Inflight = %d, want 3", got)
+	}
+	// Fourth must shed after the (tiny) queue deadline.
+	if _, err := g.Acquire(context.Background(), 1); err == nil {
+		t.Fatal("acquire beyond capacity succeeded")
+	} else {
+		var ov *Overload
+		if !errors.As(err, &ov) {
+			t.Fatalf("error is %T, want *Overload", err)
+		}
+		if ov.RetryAfter < time.Second {
+			t.Fatalf("RetryAfter = %v, want >= 1s", ov.RetryAfter)
+		}
+	}
+	if g.Shed() != 1 || g.Admitted() != 3 {
+		t.Fatalf("Shed/Admitted = %d/%d, want 1/3", g.Shed(), g.Admitted())
+	}
+	for _, rel := range rels {
+		rel()
+	}
+	if got := g.Inflight(); got != 0 {
+		t.Fatalf("Inflight after release = %d, want 0", got)
+	}
+	// Released capacity admits again.
+	rel, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	rel()
+}
+
+func TestGateReleaseIsIdempotent(t *testing.T) {
+	g := NewGate(1, time.Millisecond)
+	rel, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel() // second call must not double-free the slot
+	if got := g.Inflight(); got != 0 {
+		t.Fatalf("Inflight = %d, want 0", got)
+	}
+}
+
+func TestGateQueueGrantsFIFO(t *testing.T) {
+	g := NewGate(1, time.Second)
+	rel, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			// Stagger enqueue so the FIFO order is deterministic.
+			time.Sleep(time.Duration(i+1) * 20 * time.Millisecond)
+			r, err := g.Acquire(context.Background(), 1)
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			r()
+		}(i)
+	}
+	close(start)
+	// Let everyone enqueue, then release the slot: grants must ripple in
+	// arrival order.
+	time.Sleep(time.Duration(n+2) * 20 * time.Millisecond)
+	rel()
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if order[i] != i {
+			t.Fatalf("grant order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestGateWeightClampAndHeavyRequests(t *testing.T) {
+	g := NewGate(4, time.Millisecond)
+	// Weight above capacity clamps to capacity rather than deadlocking.
+	rel, err := g.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatalf("heavy acquire: %v", err)
+	}
+	if got := g.Inflight(); got != 4 {
+		t.Fatalf("Inflight = %d, want clamped 4", got)
+	}
+	if _, err := g.Acquire(context.Background(), 1); err == nil {
+		t.Fatal("light acquire fit alongside a full-capacity holder")
+	}
+	rel()
+	// Weight below one clamps to one.
+	rel, err = g.Acquire(context.Background(), -7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Inflight(); got != 1 {
+		t.Fatalf("Inflight = %d, want 1", got)
+	}
+	rel()
+}
+
+func TestGateContextCancelWhileQueued(t *testing.T) {
+	g := NewGate(1, time.Minute) // deadline long enough to never fire here
+	rel, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(ctx, 1)
+		done <- err
+	}()
+	waitFor(t, func() bool { return g.Queued() == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued acquire returned %v, want context.Canceled", err)
+	}
+	// A caller walking away is not load shedding.
+	if g.Shed() != 0 {
+		t.Fatalf("Shed = %d, want 0", g.Shed())
+	}
+	waitFor(t, func() bool { return g.Queued() == 0 })
+	rel()
+	// The slot is still usable.
+	rel, err = g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+}
+
+func TestGateQueueFullShedsImmediately(t *testing.T) {
+	g := NewGate(1, time.Minute)
+	rel, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	// Fill the queue (maxQueue = max(16, 4*1) = 16).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Acquire(ctx, 1)
+		}()
+	}
+	waitFor(t, func() bool { return g.Queued() == 16 })
+	start := time.Now()
+	if _, err := g.Acquire(context.Background(), 1); err == nil {
+		t.Fatal("acquire with full queue succeeded")
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("queue-full shed took %v, want immediate", d)
+	}
+	cancel()
+	wg.Wait()
+}
+
+func TestGateCloseShedsQueueAndFutureAcquires(t *testing.T) {
+	g := NewGate(1, time.Minute)
+	rel, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(context.Background(), 1)
+		done <- err
+	}()
+	waitFor(t, func() bool { return g.Queued() == 1 })
+	g.Close()
+	var ov *Overload
+	if err := <-done; !errors.As(err, &ov) {
+		t.Fatalf("queued acquire after Close returned %v, want *Overload", err)
+	}
+	if _, err := g.Acquire(context.Background(), 1); !errors.As(err, &ov) {
+		t.Fatalf("acquire after Close returned %v, want *Overload", err)
+	}
+	rel() // releasing an in-flight admission after Close must not panic
+}
+
+func TestGateDrain(t *testing.T) {
+	g := NewGate(2, time.Millisecond)
+	rel1, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := g.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain with work in flight returned %v, want deadline", err)
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		rel1()
+		rel2()
+	}()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if err := g.Drain(ctx2); err != nil {
+		t.Fatalf("Drain after release: %v", err)
+	}
+}
+
+func TestGateNilIsOpen(t *testing.T) {
+	var g *Gate
+	rel, err := g.Acquire(context.Background(), 5)
+	if err != nil {
+		t.Fatalf("nil gate acquire: %v", err)
+	}
+	rel()
+	g.Close()
+	if err := g.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if g.Inflight() != 0 || g.Queued() != 0 || g.Admitted() != 0 || g.Shed() != 0 {
+		t.Fatal("nil gate metrics not zero")
+	}
+}
+
+// TestGateStress hammers a small gate from many goroutines under -race:
+// every admission must be released, inflight must never exceed capacity,
+// and the books must balance at the end.
+func TestGateStress(t *testing.T) {
+	const capacity = 4
+	g := NewGate(capacity, 2*time.Millisecond)
+	var inflight, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				rel, err := g.Acquire(context.Background(), int64(1+i%3))
+				if err != nil {
+					var ov *Overload
+					if !errors.As(err, &ov) {
+						t.Errorf("unexpected error: %v", err)
+					}
+					continue
+				}
+				n := inflight.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				time.Sleep(50 * time.Microsecond)
+				inflight.Add(-1)
+				rel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := g.Inflight(); got != 0 {
+		t.Fatalf("Inflight after stress = %d, want 0", got)
+	}
+	if p := peak.Load(); p > capacity {
+		t.Fatalf("peak concurrent admissions = %d, want <= %d", p, capacity)
+	}
+	if g.Admitted() == 0 {
+		t.Fatal("no admissions at all")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

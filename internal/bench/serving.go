@@ -1,0 +1,358 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ServingConfig drives an open-loop load run against a live tpserver: the
+// generator fires requests at the offered rate regardless of how fast the
+// server answers (each request on its own goroutine), which is what makes
+// overload visible — a closed loop would politely slow down with the
+// server and never push it past saturation.
+//
+// Station popularity is zipf-distributed (a few hub stations dominate,
+// like real journey planners) and departures are drawn from a small set,
+// so a result cache has realistic skew to work with.
+type ServingConfig struct {
+	BaseURL  string        // e.g. http://127.0.0.1:8080
+	Rate     float64       // offered requests per second
+	Duration time.Duration // how long to offer load
+	// Mix maps query kind ("arrival", "journey", "profile") to its weight.
+	// Empty means 6:3:1 arrival:journey:profile.
+	Mix map[string]float64
+	// Stations is the station-ID space to draw from; 0 fetches the count
+	// from GET /v1/stations.
+	Stations int
+	ZipfS    float64 // zipf skew s > 1 (0 = default 1.4)
+	ZipfV    float64 // zipf offset v >= 1 (0 = default 1)
+	Seed     int64
+	Timeout  time.Duration // per-request client timeout (0 = 5s)
+}
+
+// ServingReport is the machine-readable outcome of a load run
+// (BENCH_serving.json). Latency percentiles cover answered requests (2xx
+// and 404 — both ran a search); shed 429s are counted separately, which is
+// the point: shedding keeps them out of the latency distribution.
+type ServingReport struct {
+	Target     string  `json:"target"`
+	DurationS  float64 `json:"duration_s"`
+	OfferedRPS float64 `json:"offered_rps"`
+
+	Sent     int `json:"sent"`
+	OK       int `json:"ok"`
+	NotFound int `json:"not_found"`
+	Shed     int `json:"shed"` // HTTP 429
+	Failed   int `json:"failed"`
+
+	// RetryAfterOn429 reports whether every observed 429 carried the
+	// Retry-After back-off header.
+	RetryAfterOn429 bool `json:"retry_after_on_429"`
+
+	ThroughputRPS float64 `json:"throughput_rps"` // answered (ok+not_found) per second
+	P50Ms         float64 `json:"p50_ms"`
+	P90Ms         float64 `json:"p90_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MaxMs         float64 `json:"max_ms"`
+	ShedRate      float64 `json:"shed_rate"`
+
+	// Server-side deltas scraped from /metrics across the run.
+	CacheHits       uint64  `json:"cache_hits"`
+	CacheMisses     uint64  `json:"cache_misses"`
+	CacheCoalesced  uint64  `json:"cache_coalesced"`
+	CacheHitRate    float64 `json:"cache_hit_rate"` // (hits+coalesced) / lookups
+	ServerShedTotal uint64  `json:"server_shed_total"`
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *ServingReport) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Print renders the human-readable summary.
+func (r *ServingReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "target       %s\n", r.Target)
+	fmt.Fprintf(w, "offered      %.0f req/s for %.1fs (%d sent)\n", r.OfferedRPS, r.DurationS, r.Sent)
+	fmt.Fprintf(w, "answered     %d ok, %d not-found  (%.0f req/s)\n", r.OK, r.NotFound, r.ThroughputRPS)
+	fmt.Fprintf(w, "shed         %d (%.1f%%), retry-after on 429: %v\n", r.Shed, 100*r.ShedRate, r.RetryAfterOn429)
+	fmt.Fprintf(w, "failed       %d\n", r.Failed)
+	fmt.Fprintf(w, "latency      p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms\n", r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs)
+	fmt.Fprintf(w, "cache        %d hits, %d misses, %d coalesced (hit rate %.1f%%)\n",
+		r.CacheHits, r.CacheMisses, r.CacheCoalesced, 100*r.CacheHitRate)
+	fmt.Fprintf(w, "server shed  %d total\n", r.ServerShedTotal)
+}
+
+// ParseMix parses a "kind=weight,kind=weight" flag value.
+func ParseMix(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	mix := make(map[string]float64)
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad mix element %q (want kind=weight)", part)
+		}
+		w, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad mix weight %q", kv[1])
+		}
+		switch kv[0] {
+		case "arrival", "journey", "profile":
+		default:
+			return nil, fmt.Errorf("unknown mix kind %q", kv[0])
+		}
+		mix[kv[0]] = w
+	}
+	return mix, nil
+}
+
+// servingDeparts is the departure-time pool of the workload; a small set
+// keeps the request key space realistic for caching (commuters cluster on
+// the same few times).
+var servingDeparts = []string{"07:30", "08:00", "12:15", "17:45"}
+
+// RunServing offers cfg.Rate requests/s against cfg.BaseURL for
+// cfg.Duration and reports what came back.
+func RunServing(cfg ServingConfig) (*ServingReport, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("bench: rate must be positive")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("bench: duration must be positive")
+	}
+	base := strings.TrimSuffix(cfg.BaseURL, "/")
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	client := &http.Client{Timeout: timeout}
+
+	stations := cfg.Stations
+	if stations == 0 {
+		var err error
+		stations, err = countStations(client, base)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if stations < 2 {
+		return nil, fmt.Errorf("bench: need at least 2 stations, have %d", stations)
+	}
+
+	mix := cfg.Mix
+	if len(mix) == 0 {
+		mix = map[string]float64{"arrival": 6, "journey": 3, "profile": 1}
+	}
+	kinds, weights := make([]string, 0, len(mix)), make([]float64, 0, len(mix))
+	total := 0.0
+	for _, k := range []string{"arrival", "journey", "profile"} { // stable order
+		if w := mix[k]; w > 0 {
+			kinds = append(kinds, k)
+			weights = append(weights, w)
+			total += w
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("bench: empty query mix")
+	}
+
+	zs, zv := cfg.ZipfS, cfg.ZipfV
+	if zs <= 1 {
+		zs = 1.4
+	}
+	if zv < 1 {
+		zv = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, zs, zv, uint64(stations-1))
+
+	before, err := scrapeMetrics(client, base)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64 // milliseconds, answered requests only
+		rep       = ServingReport{
+			Target:          base,
+			OfferedRPS:      cfg.Rate,
+			RetryAfterOn429: true,
+		}
+		wg sync.WaitGroup
+	)
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	n := int(cfg.Duration.Seconds() * cfg.Rate)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		// Open loop: fire at the scheduled instant whether or not earlier
+		// requests have come back.
+		if next := start.Add(time.Duration(i) * interval); time.Until(next) > 0 {
+			time.Sleep(time.Until(next))
+		}
+		// Draw the request on the dispatch goroutine (rng is not
+		// goroutine-safe).
+		from := int(zipf.Uint64())
+		to := int(zipf.Uint64())
+		if to == from {
+			to = (to + 1) % stations
+		}
+		kind := kinds[0]
+		if len(kinds) > 1 {
+			x := rng.Float64() * total
+			for j, w := range weights {
+				if x < w {
+					kind = kinds[j]
+					break
+				}
+				x -= w
+			}
+		}
+		depart := servingDeparts[rng.Intn(len(servingDeparts))]
+		url := queryURL(base, kind, from, to, depart)
+
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			resp, err := client.Get(url)
+			ms := float64(time.Since(t0).Microseconds()) / 1000
+			mu.Lock()
+			defer mu.Unlock()
+			rep.Sent++
+			if err != nil {
+				rep.Failed++
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode >= 200 && resp.StatusCode < 300:
+				rep.OK++
+				latencies = append(latencies, ms)
+			case resp.StatusCode == http.StatusNotFound:
+				rep.NotFound++
+				latencies = append(latencies, ms)
+			case resp.StatusCode == http.StatusTooManyRequests:
+				rep.Shed++
+				if resp.Header.Get("Retry-After") == "" {
+					rep.RetryAfterOn429 = false
+				}
+			default:
+				rep.Failed++
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := scrapeMetrics(client, base)
+	if err != nil {
+		return nil, err
+	}
+
+	rep.DurationS = elapsed.Seconds()
+	answered := rep.OK + rep.NotFound
+	rep.ThroughputRPS = float64(answered) / elapsed.Seconds()
+	if rep.Sent > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Sent)
+	}
+	sort.Float64s(latencies)
+	rep.P50Ms = percentile(latencies, 0.50)
+	rep.P90Ms = percentile(latencies, 0.90)
+	rep.P99Ms = percentile(latencies, 0.99)
+	if len(latencies) > 0 {
+		rep.MaxMs = latencies[len(latencies)-1]
+	}
+	rep.CacheHits = delta(before, after, "tpserver_cache_hits_total")
+	rep.CacheMisses = delta(before, after, "tpserver_cache_misses_total")
+	rep.CacheCoalesced = delta(before, after, "tpserver_cache_coalesced_total")
+	rep.ServerShedTotal = after["tpserver_shed_total"]
+	if lookups := rep.CacheHits + rep.CacheMisses + rep.CacheCoalesced; lookups > 0 {
+		rep.CacheHitRate = float64(rep.CacheHits+rep.CacheCoalesced) / float64(lookups)
+	}
+	return &rep, nil
+}
+
+func queryURL(base, kind string, from, to int, depart string) string {
+	switch kind {
+	case "profile":
+		return fmt.Sprintf("%s/v1/profile?from=%d&to=%d", base, from, to)
+	case "journey":
+		return fmt.Sprintf("%s/v1/journey?from=%d&to=%d&depart=%s", base, from, to, depart)
+	default:
+		return fmt.Sprintf("%s/v1/arrival?from=%d&to=%d&depart=%s", base, from, to, depart)
+	}
+}
+
+// percentile reads the p-quantile from an ascending sample (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func countStations(client *http.Client, base string) (int, error) {
+	resp, err := client.Get(base + "/v1/stations")
+	if err != nil {
+		return 0, fmt.Errorf("bench: fetching station count: %w", err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Stations []json.RawMessage `json:"stations"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return 0, fmt.Errorf("bench: decoding /v1/stations: %w", err)
+	}
+	return len(body.Stations), nil
+}
+
+// scrapeMetrics reads the flat "name value" series of GET /metrics
+// (labelled series are skipped).
+func scrapeMetrics(client *http.Client, base string) (map[string]uint64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("bench: scraping metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	out := make(map[string]uint64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 || strings.Contains(fields[0], "{") {
+			continue
+		}
+		if v, err := strconv.ParseUint(fields[1], 10, 64); err == nil {
+			out[fields[0]] = v
+		}
+	}
+	return out, sc.Err()
+}
+
+func delta(before, after map[string]uint64, name string) uint64 {
+	b, a := before[name], after[name]
+	if a < b {
+		return 0 // server restarted mid-run
+	}
+	return a - b
+}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubServer mimics the tpserver surface the load generator touches:
+// station list, metrics, and query endpoints that shed every fourth
+// request with 429 + Retry-After.
+func stubServer() (*httptest.Server, *atomic.Uint64) {
+	var reqs, shed atomic.Uint64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/stations", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"stations":[{"id":0},{"id":1},{"id":2},{"id":3}]}`)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "tpserver_cache_hits_total %d\n", 3*reqs.Load())
+		fmt.Fprintf(w, "tpserver_cache_misses_total %d\n", reqs.Load())
+		fmt.Fprintf(w, "tpserver_cache_coalesced_total 0\n")
+		fmt.Fprintf(w, "tpserver_shed_total %d\n", shed.Load())
+		fmt.Fprintf(w, "tpserver_requests_total{endpoint=\"v1_arrival\"} 99\n") // labelled: skipped
+	})
+	query := func(w http.ResponseWriter, r *http.Request) {
+		if n := reqs.Add(1); n%4 == 0 {
+			shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"code":"overloaded"}}`)
+			return
+		}
+		fmt.Fprint(w, `{"reachable":true}`)
+	}
+	mux.HandleFunc("/v1/arrival", query)
+	mux.HandleFunc("/v1/journey", query)
+	mux.HandleFunc("/v1/profile", query)
+	return httptest.NewServer(mux), &shed
+}
+
+func TestRunServing(t *testing.T) {
+	srv, _ := stubServer()
+	defer srv.Close()
+
+	rep, err := RunServing(ServingConfig{
+		BaseURL:  srv.URL,
+		Rate:     200,
+		Duration: 250 * time.Millisecond,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent == 0 {
+		t.Fatal("no requests sent")
+	}
+	if rep.OK+rep.NotFound+rep.Shed+rep.Failed != rep.Sent {
+		t.Fatalf("tally doesn't add up: %+v", rep)
+	}
+	if rep.Shed == 0 {
+		t.Fatal("stub sheds every 4th request but report saw none")
+	}
+	if !rep.RetryAfterOn429 {
+		t.Fatal("stub always sets Retry-After but report says otherwise")
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("failed = %d, want 0", rep.Failed)
+	}
+	if rep.P50Ms <= 0 || rep.P99Ms < rep.P50Ms || rep.MaxMs < rep.P99Ms {
+		t.Fatalf("implausible latency stats: %+v", rep)
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Fatalf("throughput = %v, want positive", rep.ThroughputRPS)
+	}
+	// Stub metrics: 3 hits per request → hit rate 75%.
+	if rep.CacheHitRate < 0.74 || rep.CacheHitRate > 0.76 {
+		t.Fatalf("cache hit rate = %v, want 0.75", rep.CacheHitRate)
+	}
+	if rep.ServerShedTotal == 0 {
+		t.Fatal("server shed total not scraped")
+	}
+	if got, want := rep.ShedRate, float64(rep.Shed)/float64(rep.Sent); got != want {
+		t.Fatalf("shed rate = %v, want %v", got, want)
+	}
+}
+
+func TestRunServingValidation(t *testing.T) {
+	if _, err := RunServing(ServingConfig{BaseURL: "http://x", Rate: 0, Duration: time.Second}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := RunServing(ServingConfig{BaseURL: "http://x", Rate: 1, Duration: 0}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := ParseMix("arrival=6, journey=3,profile=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix["arrival"] != 6 || mix["journey"] != 3 || mix["profile"] != 1 {
+		t.Fatalf("mix = %v", mix)
+	}
+	if m, err := ParseMix(""); err != nil || m != nil {
+		t.Fatalf("empty mix: %v %v", m, err)
+	}
+	for _, bad := range []string{"arrival", "arrival=x", "matrix=1", "journey=-1"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Fatalf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile not zero")
+	}
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(s, 0.5); p != 6 {
+		t.Fatalf("p50 = %v, want 6", p)
+	}
+	if p := percentile(s, 0.99); p != 10 {
+		t.Fatalf("p99 = %v, want 10", p)
+	}
+}

@@ -123,6 +123,13 @@ type ParetoResult struct {
 
 func (r *ParetoResult) layers() int { return r.MaxTransfers + 1 }
 
+// MemBytes approximates the heap memory the result keeps alive: the
+// layered label array dominates at numNodes × k × (maxTransfers+1) entries
+// of 4 bytes each.
+func (r *ParetoResult) MemBytes() int {
+	return 4*(len(r.Conns)+len(r.Deps)+len(r.arr)) + 24*len(r.walk)
+}
+
 func (r *ParetoResult) label(v graph.NodeID, i, u int) int {
 	return (int(v)*len(r.Conns)+i)*r.layers() + u
 }

@@ -112,6 +112,17 @@ func (ws *Workspace) newProfileResultWindow(g *graph.Graph, source timetable.Sta
 // K returns |conn(S)|, the number of outgoing connections of the source.
 func (r *ProfileResult) K() int { return len(r.Conns) }
 
+// MemBytes approximates the heap memory the result keeps alive: the label
+// (and, when tracked, parent) arrays dominate at numNodes × k entries of 4
+// bytes each.
+func (r *ProfileResult) MemBytes() int {
+	n := 4*(len(r.Conns)+len(r.Deps)) + 4*len(r.arr) + 4*len(r.arrGen) + 24*len(r.walk)
+	if r.hasParents {
+		n += 4*len(r.parentNode) + 4*len(r.parentConn) + 4*len(r.parentGen)
+	}
+	return n
+}
+
 // label returns the flat index of (v, i).
 func (r *ProfileResult) label(v graph.NodeID, i int) int { return int(v)*len(r.Conns) + i }
 
