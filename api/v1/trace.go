@@ -1,0 +1,45 @@
+package apiv1
+
+import "transit"
+
+// Effort is the wire form of the search-work counters a query accumulated
+// (transit.SearchEffortSnapshot re-exported under this package's
+// compatibility contract).
+type Effort = transit.SearchEffortSnapshot
+
+// Trace is the per-query breakdown attached to a response when the client
+// requests ?debug=trace: where the request's wall time went, stage by
+// stage, plus the search-effort counters. The same stages travel on every
+// response as a Server-Timing header; the inline block exists so a single
+// curl shows the whole picture without header parsing.
+//
+// Stage semantics: QueueWaitMS is time spent queued at the admission gate;
+// CacheLookupMS is time inside the result cache outside the search
+// (for hits it is the whole plan step, for coalesced requests it includes
+// waiting on the leader's in-flight search); SearchMS is the query
+// execution itself; EncodeMS is JSON rendering. TotalMS is the handler's
+// wall time and exceeds the sum by routing/decode overhead.
+type Trace struct {
+	TraceID string `json:"trace_id"`
+	Epoch   uint64 `json:"epoch"`
+	// Cache is the result-cache outcome: "bypass", "miss", "hit", or
+	// "coalesced".
+	Cache         string  `json:"cache"`
+	QueueWaitMS   float64 `json:"queue_wait_ms"`
+	CacheLookupMS float64 `json:"cache_lookup_ms"`
+	SearchMS      float64 `json:"search_ms"`
+	EncodeMS      float64 `json:"encode_ms"`
+	TotalMS       float64 `json:"total_ms"`
+	// Effort is present when a search actually ran (cache hits report
+	// zero rounds and omit it).
+	Effort *Effort `json:"effort,omitempty"`
+}
+
+// SetTrace attaches the debug trace block to a response. Each query
+// response type implements it so the server can set the block after the
+// (timed) first encode without knowing the concrete type.
+func (r *ArrivalResponse) SetTrace(t *Trace) { r.Trace = t }
+func (r *ProfileResponse) SetTrace(t *Trace) { r.Trace = t }
+func (r *JourneyResponse) SetTrace(t *Trace) { r.Trace = t }
+func (r *ParetoResponse) SetTrace(t *Trace)  { r.Trace = t }
+func (r *MatrixResponse) SetTrace(t *Trace)  { r.Trace = t }

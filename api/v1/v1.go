@@ -234,6 +234,7 @@ type ArrivalResponse struct {
 	Arrive  string  `json:"arrive,omitempty"`
 	Minutes int     `json:"minutes"`
 	QueryMS float64 `json:"query_ms"`
+	Trace   *Trace  `json:"trace,omitempty"`
 }
 
 // NewArrivalResponse renders an earliest-arrival result.
@@ -271,6 +272,7 @@ type ProfileResponse struct {
 	// WalkMinutes is the pure footpath time, -1 when not walkable.
 	WalkMinutes int     `json:"walk_minutes"`
 	QueryMS     float64 `json:"query_ms"`
+	Trace       *Trace  `json:"trace,omitempty"`
 }
 
 // NewProfileResponse renders a station-to-station profile result.
@@ -317,6 +319,7 @@ type JourneyResponse struct {
 	Transfers int     `json:"transfers"`
 	Legs      []Leg   `json:"legs"`
 	QueryMS   float64 `json:"query_ms"`
+	Trace     *Trace  `json:"trace,omitempty"`
 }
 
 // NewJourneyResponse renders a journey result.
@@ -363,6 +366,7 @@ type ParetoResponse struct {
 	MaxTransfers int            `json:"max_transfers"`
 	Choices      []ParetoChoice `json:"choices"`
 	QueryMS      float64        `json:"query_ms"`
+	Trace        *Trace         `json:"trace,omitempty"`
 }
 
 // NewParetoResponse renders a pareto result evaluated toward req.To at the
@@ -402,6 +406,7 @@ type MatrixResponse struct {
 	Targets []Station `json:"targets"`
 	Minutes [][]int   `json:"minutes"`
 	QueryMS float64   `json:"query_ms"`
+	Trace   *Trace    `json:"trace,omitempty"`
 }
 
 // NewMatrixResponse renders a matrix result.

@@ -379,12 +379,21 @@ func BenchmarkSteadyStateStationQuery(b *testing.B) {
 	net := benchNet(b, "oahu")
 	sources := benchSources(net, 32)
 	env := core.QueryEnv{Graph: net.G}
-	for _, mode := range []string{"pooled-workspace", "detached"} {
+	// The effort-tracked mode runs the same pooled-workspace loop with an
+	// attached core.Effort counter block — the observability contract is
+	// that tracing a query costs zero allocations, so its allocs/op column
+	// must read identically to pooled-workspace.
+	for _, mode := range []string{"pooled-workspace", "effort-tracked", "detached"} {
 		b.Run(mode, func(b *testing.B) {
 			ws := core.GetWorkspace()
 			defer core.PutWorkspace(ws)
+			opts := core.QueryOptions{}
+			var effort core.Effort
+			if mode == "effort-tracked" {
+				opts.Effort = &effort
+			}
 			// Warm-up grows the workspace arrays to steady-state size.
-			if _, err := ws.StationToStation(env, sources[0], sources[1], core.QueryOptions{}); err != nil {
+			if _, err := ws.StationToStation(env, sources[0], sources[1], opts); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
@@ -398,12 +407,12 @@ func BenchmarkSteadyStateStationQuery(b *testing.B) {
 				}
 				var err error
 				var res *core.StationQueryResult
-				if mode == "pooled-workspace" {
-					res, err = ws.StationToStation(env, src, dst, core.QueryOptions{})
-				} else {
+				if mode == "detached" {
 					// Package-level wrapper: pools the search arrays but
 					// detaches (copies) the O(k) result vectors.
-					res, err = core.StationToStation(env, src, dst, core.QueryOptions{})
+					res, err = core.StationToStation(env, src, dst, opts)
+				} else {
+					res, err = ws.StationToStation(env, src, dst, opts)
 				}
 				if err != nil {
 					b.Fatal(err)
@@ -411,6 +420,9 @@ func BenchmarkSteadyStateStationQuery(b *testing.B) {
 				settled += res.Run.Total.SettledConns
 			}
 			b.ReportMetric(float64(settled)/float64(b.N), "settled/op")
+			if mode == "effort-tracked" && effort.ConnsScanned.Load() == 0 {
+				b.Fatal("effort block saw no work")
+			}
 		})
 	}
 }

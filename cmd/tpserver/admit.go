@@ -13,6 +13,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"time"
 
 	"transit"
 	"transit/internal/admit"
@@ -23,9 +24,26 @@ import (
 // pinned by the caller (one Registry.Snapshot() load per request), and its
 // epoch keys the cache: a delay batch bumps the epoch and every cached
 // answer stops matching instantly.
-func (s *server) plan(ctx context.Context, snap *live.Snapshot, req transit.Request) (*transit.Result, error) {
+//
+// When tr is non-nil the request is traced: its Effort block rides on
+// Request.Options (cache-key-neutral — CacheKey ignores Options), the
+// gate reports the queue wait, and the search is timed. The stage
+// histograms are fed either way. Cache.Plan runs the fill closure on this
+// goroutine, so the closure may write tr without synchronization; for
+// coalesced requests the closure never runs and the whole wait on the
+// leader lands in the cache-lookup stage.
+func (s *server) plan(ctx context.Context, snap *live.Snapshot, req transit.Request, tr *qtrace) (*transit.Result, error) {
+	planStart := time.Now()
+	if tr != nil {
+		tr.epoch = snap.Epoch
+		req.Options.Effort = &tr.effort
+	}
 	do := func(ctx context.Context, req transit.Request) (*transit.Result, error) {
-		release, err := s.gate.Acquire(ctx, admitWeight(req))
+		release, wait, err := s.gate.AcquireWait(ctx, admitWeight(req))
+		if tr != nil {
+			tr.queueWait = wait
+		}
+		s.obs.queueWait.ObserveDuration(wait)
 		if err != nil {
 			var ov *admit.Overload
 			if errors.As(err, &ov) {
@@ -38,9 +56,28 @@ func (s *server) plan(ctx context.Context, snap *live.Snapshot, req transit.Requ
 		if s.planHook != nil {
 			s.planHook()
 		}
-		return snap.Net.Plan(ctx, req)
+		searchStart := time.Now()
+		res, err := snap.Net.Plan(ctx, req)
+		d := time.Since(searchStart)
+		if tr != nil {
+			tr.search = d
+		}
+		s.obs.searchDur.ObserveDuration(d)
+		return res, err
 	}
-	res, _, err := s.cache.Plan(ctx, snap.Epoch, req, do)
+	res, outcome, err := s.cache.Plan(ctx, snap.Epoch, req, do)
+	if tr != nil {
+		tr.outcome = outcome
+		lookup := time.Since(planStart) - tr.queueWait - tr.search
+		if lookup < 0 {
+			lookup = 0
+		}
+		tr.cacheLookup = lookup
+		s.obs.cacheLookup.ObserveDuration(lookup)
+		if tr.effort.Rounds.Load() > 0 {
+			s.obs.settled.Observe(float64(tr.effort.LabelsSettled.Load()))
+		}
+	}
 	return res, err
 }
 

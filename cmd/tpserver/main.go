@@ -91,13 +91,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the -pprof side listener
 	"os"
 	"os/signal"
 	"runtime"
-	"sort"
 	"strconv"
 	"sync/atomic"
 	"syscall"
@@ -135,6 +134,14 @@ type server struct {
 	// populated by newMux before the server starts; afterwards only the
 	// atomic values move, so concurrent reads need no lock.
 	hits map[string]*atomic.Uint64
+
+	// obs owns the metric registry and every latency histogram; logger is
+	// the structured process log; slowQuery is the -slow-query threshold
+	// above which finished queries are logged stage by stage (0 = off, the
+	// default so tests opt in explicitly).
+	obs       *serverObs
+	logger    *slog.Logger
+	slowQuery time.Duration
 }
 
 // defaultQueryTimeout is the per-request deadline applied when the
@@ -142,16 +149,23 @@ type server struct {
 const defaultQueryTimeout = 10 * time.Second
 
 func newServer(reg *live.Registry, threads int) *server {
-	return &server{reg: reg, threads: threads, queryTimeout: defaultQueryTimeout, hits: make(map[string]*atomic.Uint64)}
+	s := &server{reg: reg, threads: threads, queryTimeout: defaultQueryTimeout,
+		hits: make(map[string]*atomic.Uint64), logger: slog.Default()}
+	s.obs = newServerObs(s)
+	return s
 }
 
-// count registers a request counter for the endpoint and wraps its handler.
+// count registers a request counter and latency histogram for the endpoint
+// and wraps its handler.
 func (s *server) count(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	c := &atomic.Uint64{}
 	s.hits[endpoint] = c
+	hist := s.obs.endpointSeries(endpoint, c)
 	return func(w http.ResponseWriter, r *http.Request) {
 		c.Add(1)
+		start := time.Now()
 		h(w, r)
+		hist.ObserveDuration(time.Since(start))
 	}
 }
 
@@ -195,16 +209,30 @@ func main() {
 	listen := flag.String("listen", ":8080", "listen address")
 	pprofAddr := flag.String("pprof", "", "side listener for net/http/pprof (e.g. 127.0.0.1:6060; empty = off)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 15*time.Second, "graceful-shutdown drain budget")
+	logFormat := flag.String("log-format", "text", "structured log output: text or json")
+	slowQuery := flag.Duration("slow-query", 250*time.Millisecond,
+		"log queries slower than this with their stage breakdown and search effort (0 = off)")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	if *pprofAddr != "" {
 		// Profiles (CPU of repair vs. rebuild, heap of the table) are served
 		// on a separate listener so they can stay firewalled off from query
 		// traffic; net/http/pprof registers on the default mux.
 		go func() {
-			log.Printf("pprof listening on %s (/debug/pprof/)", *pprofAddr)
+			logger.Info("pprof listening", "addr", *pprofAddr, "path", "/debug/pprof/")
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("tpserver: pprof listener: %v", err)
+				logger.Warn("pprof listener failed", "err", err)
 			}
 		}()
 	}
@@ -219,23 +247,23 @@ func main() {
 		var err error
 		n, state, err = loadSnapshotFile(*persistPath)
 		if err != nil {
-			log.Fatalf("tpserver: resuming from %s: %v", *persistPath, err)
+			fatal("resuming from persisted state failed", "path", *persistPath, "err", err)
 		}
-		log.Printf("resumed epoch %d from %s: %s", state.Epoch, *persistPath, n.Stats())
+		logger.Info("resumed from persisted state", "epoch", state.Epoch, "path", *persistPath, "network", n.Stats())
 	case *snapFile != "":
 		var err error
 		n, state, err = loadSnapshotFile(*snapFile)
 		if err != nil {
-			log.Fatal(err)
+			fatal("snapshot load failed", "err", err)
 		}
-		log.Printf("loaded snapshot %s (epoch %d): %s", *snapFile, state.Epoch, n.Stats())
+		logger.Info("loaded snapshot", "path", *snapFile, "epoch", state.Epoch, "network", n.Stats())
 	default:
 		var err error
 		n, err = load(*netFile, *gtfsDir, *family, *scale)
 		if err != nil {
-			log.Fatal(err)
+			fatal("network load failed", "err", err)
 		}
-		log.Printf("loaded network: %s", n.Stats())
+		logger.Info("loaded network", "network", n.Stats())
 	}
 	sel := transit.TransferSelection{Fraction: *preprocess}
 	if *preprocess > 0 && !n.Preprocessed() {
@@ -243,16 +271,16 @@ func main() {
 		var err error
 		n, ps, err = n.Preprocess(sel, transit.Options{Threads: *threads})
 		if err != nil {
-			log.Fatal(err)
+			fatal("preprocessing failed", "err", err)
 		}
-		log.Printf("preprocessed %d transfer stations in %v (%.1f MiB)",
-			ps.TransferStations, ps.Elapsed, float64(ps.TableBytes)/(1<<20))
+		logger.Info("preprocessed network", "transfer_stations", ps.TransferStations,
+			"elapsed", ps.Elapsed, "table_mib", float64(ps.TableBytes)/(1<<20))
 	} else if n.Preprocessed() {
-		log.Printf("distance table loaded from snapshot (no preprocessing needed)")
+		logger.Info("distance table loaded from snapshot (no preprocessing needed)")
 	}
 	policy, err := live.ParsePolicy(*repreprocess)
 	if err != nil {
-		log.Fatal(err)
+		fatal("bad -repreprocess", "err", err)
 	}
 	if *preprocess <= 0 {
 		// No valid transfer selection to rebuild with — even if a snapshot
@@ -265,20 +293,23 @@ func main() {
 		Policy:    policy,
 		Selection: sel,
 		Options:   transit.Options{Threads: *threads},
-		Logf:      log.Printf,
+		Logf: func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		},
 	})
 	if *persistPath != "" {
 		reg.StartPersist(*persistPath, *persistInterval)
 	}
 	s := newServer(reg, *threads)
 	s.queryTimeout = *queryTimeout
+	s.slowQuery = *slowQuery
 	if *maxInflight > 0 {
 		s.gate = admit.NewGate(int64(*maxInflight), *queueDeadline)
 	}
 	if *cacheEntries > 0 {
 		s.cache = admit.NewCache(*cacheEntries, *cacheBytes)
 	}
-	log.Printf("ready in %v (epoch %d)", time.Since(start).Round(time.Millisecond), state.Epoch)
+	logger.Info("ready", "startup", time.Since(start).Round(time.Millisecond), "epoch", state.Epoch)
 
 	srv := &http.Server{
 		Addr:              *listen,
@@ -292,26 +323,26 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("listening on %s (delay updates: %s re-preprocessing)", *listen, policy)
+	logger.Info("listening", "addr", *listen, "repreprocess", policy.String())
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		fatal("listener failed", "err", err)
 	case <-ctx.Done():
 		stop()
-		log.Printf("shutting down: draining in-flight queries (budget %v)", *shutdownTimeout)
+		logger.Info("shutting down: draining in-flight queries", "budget", *shutdownTimeout)
 		sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
-			log.Printf("tpserver: shutdown: %v", err)
+			logger.Warn("shutdown incomplete", "err", err)
 		}
 		// The listener is closed; wait out searches still holding admission
 		// slots, then refuse any straggler before the registry goes away.
 		if err := s.gate.Drain(sctx); err != nil {
-			log.Printf("tpserver: admit drain: %v", err)
+			logger.Warn("admission drain incomplete", "err", err)
 		}
 		s.gate.Close()
 		reg.Close() // wait for background re-preprocessing, release the last snapshot
-		log.Printf("bye (final epoch %d)", reg.Snapshot().Epoch)
+		logger.Info("bye", "final_epoch", reg.Snapshot().Epoch)
 	}
 }
 
@@ -379,6 +410,7 @@ func parsePair(n *transit.Network, r *http.Request) (from, to transit.StationID,
 }
 
 func (s *server) arrival(w http.ResponseWriter, r *http.Request) {
+	tr := s.beginTrace(w, r, transit.KindEarliestArrival)
 	if err := r.Context().Err(); err != nil {
 		s.legacyError(w, err) // already hung up: no admission slot, no cache fill
 		return
@@ -400,14 +432,16 @@ func (s *server) arrival(w http.ResponseWriter, r *http.Request) {
 	res, err := s.plan(ctx, snap, transit.Request{
 		Kind: transit.KindEarliestArrival, From: from, To: to, Depart: dep,
 		Options: transit.Options{Threads: s.threads},
-	})
+	}, tr)
 	if err != nil {
 		s.legacyError(w, err)
+		s.finishQuery(tr, string(transit.ErrorCodeOf(err)))
 		return
 	}
 	arr, err := res.Arrival()
 	if err != nil {
 		s.legacyError(w, err)
+		s.finishQuery(tr, string(transit.ErrorCodeOf(err)))
 		return
 	}
 	resp := map[string]any{"from": from, "to": to, "depart": n.FormatClock(dep)}
@@ -419,9 +453,11 @@ func (s *server) arrival(w http.ResponseWriter, r *http.Request) {
 		resp["minutes"] = int(arr - dep)
 	}
 	writeJSON(w, resp)
+	s.finishQuery(tr, "ok")
 }
 
 func (s *server) profile(w http.ResponseWriter, r *http.Request) {
+	tr := s.beginTrace(w, r, transit.KindProfile)
 	if err := r.Context().Err(); err != nil {
 		s.legacyError(w, err)
 		return
@@ -438,14 +474,16 @@ func (s *server) profile(w http.ResponseWriter, r *http.Request) {
 	res, err := s.plan(ctx, snap, transit.Request{
 		Kind: transit.KindProfile, From: from, To: to,
 		Options: transit.Options{Threads: s.threads},
-	})
+	}, tr)
 	if err != nil {
 		s.legacyError(w, err)
+		s.finishQuery(tr, string(transit.ErrorCodeOf(err)))
 		return
 	}
 	p, err := res.Profile()
 	if err != nil {
 		s.legacyError(w, err)
+		s.finishQuery(tr, string(transit.ErrorCodeOf(err)))
 		return
 	}
 	st := res.Stats()
@@ -469,9 +507,11 @@ func (s *server) profile(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, out)
+	s.finishQuery(tr, "ok")
 }
 
 func (s *server) journey(w http.ResponseWriter, r *http.Request) {
+	tr := s.beginTrace(w, r, transit.KindJourney)
 	if err := r.Context().Err(); err != nil {
 		s.legacyError(w, err)
 		return
@@ -493,14 +533,16 @@ func (s *server) journey(w http.ResponseWriter, r *http.Request) {
 	res, err := s.plan(ctx, snap, transit.Request{
 		Kind: transit.KindJourney, From: from, To: to, Depart: dep,
 		Options: transit.Options{Threads: s.threads},
-	})
+	}, tr)
 	if err != nil {
 		s.legacyError(w, err) // unreachable maps to 404, as before
+		s.finishQuery(tr, string(transit.ErrorCodeOf(err)))
 		return
 	}
 	j, err := res.Journey()
 	if err != nil {
 		s.legacyError(w, err)
+		s.finishQuery(tr, string(transit.ErrorCodeOf(err)))
 		return
 	}
 	type legJSON struct {
@@ -522,6 +564,7 @@ func (s *server) journey(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, out)
+	s.finishQuery(tr, "ok")
 }
 
 // delayOpJSON is the wire form of one POST /delays operation. Either a
@@ -611,43 +654,12 @@ func (s *server) version(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// metrics serves the obs registry: full Prometheus text exposition with
+// # HELP/# TYPE metadata, latency histogram families, runtime series, and
+// every flat series the handler used to print by hand (same names, same
+// integer rendering — existing greps and scrapers keep working).
 func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
-	m := s.reg.Metrics()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "tpserver_snapshot_epoch %d\n", m.Epoch)
-	fmt.Fprintf(w, "tpserver_snapshot_preprocessed %d\n", b2i(m.Preprocessed))
-	fmt.Fprintf(w, "tpserver_updates_total %d\n", m.UpdatesTotal)
-	fmt.Fprintf(w, "tpserver_update_last_seconds %g\n", m.LastUpdate.Seconds())
-	fmt.Fprintf(w, "tpserver_connections_retimed_total %d\n", m.ConnsRetimed)
-	fmt.Fprintf(w, "tpserver_connections_cancelled_total %d\n", m.ConnsCancelled)
-	fmt.Fprintf(w, "tpserver_repreprocess_total %d\n", m.ReprocessedTotal)
-	fmt.Fprintf(w, "tpserver_repreprocess_errors_total %d\n", m.ReprocessErrors)
-	fmt.Fprintf(w, "dtable_repairs_total %d\n", m.RepairsTotal)
-	fmt.Fprintf(w, "dtable_rows_repaired_total %d\n", m.RowsRepairedTotal)
-	fmt.Fprintf(w, "dtable_full_rebuilds_total %d\n", m.FullRebuildsTotal)
-	fmt.Fprintf(w, "dtable_repreprocess_last_seconds %g\n", m.LastReprocess.Seconds())
-	fmt.Fprintf(w, "tpserver_persist_total %d\n", m.PersistsTotal)
-	fmt.Fprintf(w, "tpserver_persist_errors_total %d\n", m.PersistErrors)
-	fmt.Fprintf(w, "tpserver_queries_cancelled_total %d\n", s.cancelled.Load())
-	// Admission gate and result cache (all nil-safe: zeros when disabled).
-	fmt.Fprintf(w, "tpserver_inflight %d\n", s.gate.Inflight())
-	fmt.Fprintf(w, "tpserver_admit_queued %d\n", s.gate.Queued())
-	fmt.Fprintf(w, "tpserver_admitted_total %d\n", s.gate.Admitted())
-	fmt.Fprintf(w, "tpserver_shed_total %d\n", s.gate.Shed())
-	cs := s.cache.Stats()
-	fmt.Fprintf(w, "tpserver_cache_hits_total %d\n", cs.Hits)
-	fmt.Fprintf(w, "tpserver_cache_misses_total %d\n", cs.Misses)
-	fmt.Fprintf(w, "tpserver_cache_coalesced_total %d\n", cs.Coalesced)
-	fmt.Fprintf(w, "tpserver_cache_entries %d\n", cs.Entries)
-	fmt.Fprintf(w, "tpserver_cache_bytes %d\n", cs.Bytes)
-	names := make([]string, 0, len(s.hits))
-	for name := range s.hits {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		fmt.Fprintf(w, "tpserver_requests_total{endpoint=%q} %d\n", name, s.hits[name].Load())
-	}
+	s.obs.reg.ServeHTTP(w, r)
 }
 
 func b2i(b bool) int {
@@ -660,6 +672,6 @@ func b2i(b bool) int {
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("tpserver: encode: %v", err)
+		slog.Error("tpserver: response encode failed", "err", err)
 	}
 }

@@ -8,7 +8,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -59,8 +59,17 @@ func (s *server) v1Error(w http.ResponseWriter, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(apiv1.HTTPStatus(code))
 	if err := json.NewEncoder(w).Encode(apiv1.NewErrorResponse(err)); err != nil {
-		log.Printf("tpserver: encode error envelope: %v", err)
+		slog.Error("tpserver: encode error envelope failed", "err", err)
 	}
+}
+
+// v1TraceError is v1Error for a traced query: the stage timings collected
+// so far still travel on Server-Timing, and the failure closes out the
+// trace (per-kind histogram + slow-query log) under the error's code.
+func (s *server) v1TraceError(w http.ResponseWriter, tr *qtrace, err error) {
+	w.Header().Set("Server-Timing", tr.serverTiming())
+	s.v1Error(w, err)
+	s.finishQuery(tr, string(transit.ErrorCodeOf(err)))
 }
 
 // stationRefParam turns a query parameter into a station reference: all
@@ -127,26 +136,27 @@ func decodePlanRequest(w http.ResponseWriter, r *http.Request) (*apiv1.PlanReque
 // render.
 func (s *server) v1Query(kind transit.Kind) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		tr := s.beginTrace(w, r, kind)
 		// A client that already hung up gets no admission slot and no cache
 		// fill: reject before any work is priced or queued.
 		if err := r.Context().Err(); err != nil {
-			s.v1Error(w, err)
+			s.v1TraceError(w, tr, err)
 			return
 		}
 		snap := s.reg.Snapshot() // one load: the whole request sees this version
 		n := snap.Net
 		preq, err := decodePlanRequest(w, r)
 		if err != nil {
-			s.v1Error(w, err)
+			s.v1TraceError(w, tr, err)
 			return
 		}
 		req, err := preq.Resolve(n, kind, transit.Options{Threads: s.threads})
 		if err != nil {
-			s.v1Error(w, err)
+			s.v1TraceError(w, tr, err)
 			return
 		}
 		if kind == transit.KindMatrix && len(req.Sources)*len(req.Targets) > maxMatrixCells {
-			s.v1Error(w, &transit.Error{
+			s.v1TraceError(w, tr, &transit.Error{
 				Code: transit.CodeInvalidRequest, Field: "sources",
 				Message: fmt.Sprintf("matrix of %d×%d cells exceeds the %d-cell limit",
 					len(req.Sources), len(req.Targets), maxMatrixCells),
@@ -155,9 +165,9 @@ func (s *server) v1Query(kind transit.Kind) http.HandlerFunc {
 		}
 		ctx, cancel := s.queryContext(r)
 		defer cancel()
-		res, err := s.plan(ctx, snap, req)
+		res, err := s.plan(ctx, snap, req, tr)
 		if err != nil {
-			s.v1Error(w, err)
+			s.v1TraceError(w, tr, err)
 			return
 		}
 		var body any
@@ -174,10 +184,34 @@ func (s *server) v1Query(kind transit.Kind) http.HandlerFunc {
 			body, err = apiv1.NewMatrixResponse(n, req, res)
 		}
 		if err != nil {
-			s.v1Error(w, err)
+			s.v1TraceError(w, tr, err)
 			return
 		}
-		writeJSON(w, body)
+		// Marshal once, timed — the encode stage. json.Marshal + "\n" is
+		// byte-identical to the json.Encoder output the endpoint used
+		// before, so golden wire tests are unaffected.
+		encStart := time.Now()
+		buf, err := json.Marshal(body)
+		tr.encode = time.Since(encStart)
+		if err != nil {
+			s.v1TraceError(w, tr, transit.NewError(transit.CodeInternal, "response encoding failed", err))
+			return
+		}
+		if tr.debug {
+			// ?debug=trace: attach the stage breakdown (including the first
+			// encode's duration) and re-marshal.
+			if b, ok := body.(interface{ SetTrace(*apiv1.Trace) }); ok {
+				b.SetTrace(tr.wire())
+				if buf2, err := json.Marshal(body); err == nil {
+					buf = buf2
+				}
+			}
+		}
+		w.Header().Set("Server-Timing", tr.serverTiming())
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf)
+		w.Write([]byte{'\n'})
+		s.finishQuery(tr, "ok")
 	}
 }
 

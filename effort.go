@@ -1,0 +1,20 @@
+package transit
+
+import "transit/internal/stats"
+
+// SearchEffort is an optional per-query work-counter block. Attach one via
+// Options.Effort (or Request.Options.Effort) and every search the query
+// runs folds its counters in: connections scanned, labels settled, pruned
+// extractions, priority-queue traffic, cancel polls, and the number of
+// search rounds. Counters are atomic, so a single block can be shared by
+// the worker goroutines of a matrix or parallel profile query; call
+// Snapshot for a plain-value copy and Reset to reuse the block.
+//
+// The result cache ignores Options when keying requests, so attaching an
+// Effort never fragments the cache; a cache hit simply leaves the block
+// untouched (Rounds stays 0 — the signal that no search ran).
+type SearchEffort = stats.Effort
+
+// SearchEffortSnapshot is the plain-value, JSON-ready copy returned by
+// SearchEffort.Snapshot.
+type SearchEffortSnapshot = stats.EffortSnapshot

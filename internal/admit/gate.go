@@ -82,8 +82,18 @@ func (g *Gate) overload() *Overload { return &Overload{RetryAfter: g.retry} }
 // ctx.Err() (the caller went away — that is a cancellation, not load
 // shedding, and is not counted as shed). A nil gate admits everything.
 func (g *Gate) Acquire(ctx context.Context, weight int64) (func(), error) {
+	release, _, err := g.AcquireWait(ctx, weight)
+	return release, err
+}
+
+// AcquireWait is Acquire plus the time the request spent queued before the
+// verdict — the observability layer's queue-wait stage. The duration is
+// reported on every outcome, including sheds and cancellations (there it
+// is how long the caller was held before being turned away). The fast path
+// reports zero without consulting the clock.
+func (g *Gate) AcquireWait(ctx context.Context, weight int64) (func(), time.Duration, error) {
 	if g == nil {
-		return func() {}, nil
+		return func() {}, 0, nil
 	}
 	if weight < 1 {
 		weight = 1
@@ -95,49 +105,52 @@ func (g *Gate) Acquire(ctx context.Context, weight int64) (func(), error) {
 	if g.closed {
 		g.mu.Unlock()
 		g.shed.Add(1)
-		return nil, g.overload()
+		return nil, 0, g.overload()
 	}
 	if g.queue.Len() == 0 && g.cur+weight <= g.capacity {
 		g.cur += weight
 		g.mu.Unlock()
 		g.admitted.Add(1)
-		return g.releaser(weight), nil
+		return g.releaser(weight), 0, nil
 	}
 	if g.queue.Len() >= g.maxQueue {
 		g.mu.Unlock()
 		g.shed.Add(1)
-		return nil, g.overload()
+		return nil, 0, g.overload()
 	}
 	w := &waiter{weight: weight, ready: make(chan error, 1)}
 	w.elem = g.queue.PushBack(w)
 	g.queued.Add(1)
 	g.mu.Unlock()
 	defer g.queued.Add(-1)
+	enqueued := time.Now()
 
 	timer := time.NewTimer(g.deadline)
 	defer timer.Stop()
 	select {
 	case err := <-w.ready:
-		return g.granted(weight, err)
+		release, err := g.granted(weight, err)
+		return release, time.Since(enqueued), err
 	case <-ctx.Done():
 		if g.abandon(w) {
-			return nil, ctx.Err()
+			return nil, time.Since(enqueued), ctx.Err()
 		}
 		// A grant raced the cancellation: take it, hand the slot straight
 		// back, and report the cancellation.
 		if err := <-w.ready; err != nil {
 			g.shed.Add(1)
-			return nil, err
+			return nil, time.Since(enqueued), err
 		}
 		g.releaser(weight)()
-		return nil, ctx.Err()
+		return nil, time.Since(enqueued), ctx.Err()
 	case <-timer.C:
 		if g.abandon(w) {
 			g.shed.Add(1)
-			return nil, g.overload()
+			return nil, time.Since(enqueued), g.overload()
 		}
 		// A grant raced the deadline: the slot is ours, serve the request.
-		return g.granted(weight, <-w.ready)
+		release, err := g.granted(weight, <-w.ready)
+		return release, time.Since(enqueued), err
 	}
 }
 

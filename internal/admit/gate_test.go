@@ -304,6 +304,34 @@ func TestGateStress(t *testing.T) {
 	}
 }
 
+func TestGateAcquireWaitReportsQueueTime(t *testing.T) {
+	g := NewGate(1, time.Second)
+	rel, wait, err := g.AcquireWait(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wait != 0 {
+		t.Fatalf("fast-path wait = %v, want 0", wait)
+	}
+	done := make(chan time.Duration, 1)
+	go func() {
+		rel2, w, err := g.AcquireWait(context.Background(), 1)
+		if err != nil {
+			t.Error(err)
+			done <- 0
+			return
+		}
+		rel2()
+		done <- w
+	}()
+	waitFor(t, func() bool { return g.Queued() == 1 })
+	time.Sleep(5 * time.Millisecond)
+	rel()
+	if w := <-done; w < 5*time.Millisecond {
+		t.Fatalf("queued wait = %v, want >= 5ms", w)
+	}
+}
+
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(2 * time.Second)

@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -13,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"transit/internal/obs"
 )
 
 // ServingConfig drives an open-loop load run against a live tpserver: the
@@ -72,6 +73,20 @@ type ServingReport struct {
 	CacheCoalesced  uint64  `json:"cache_coalesced"`
 	CacheHitRate    float64 `json:"cache_hit_rate"` // (hits+coalesced) / lookups
 	ServerShedTotal uint64  `json:"server_shed_total"`
+
+	// Stage percentiles from the server's own histograms, as before/after
+	// deltas over the run (so a long-lived server's history does not bleed
+	// in). QueueWait covers admitted searches only — it is where latency
+	// goes first when the offered rate crosses capacity, and it stays flat
+	// when shedding works. Settled is labels settled per search, the
+	// paper's measure of search effort.
+	QueueWaitP50Ms float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP90Ms float64 `json:"queue_wait_p90_ms"`
+	QueueWaitP99Ms float64 `json:"queue_wait_p99_ms"`
+	SearchP50Ms    float64 `json:"search_p50_ms"`
+	SearchP99Ms    float64 `json:"search_p99_ms"`
+	SettledP50     float64 `json:"settled_p50"`
+	SettledP99     float64 `json:"settled_p99"`
 }
 
 // WriteJSON writes the report, indented, to path.
@@ -94,6 +109,10 @@ func (r *ServingReport) Print(w io.Writer) {
 	fmt.Fprintf(w, "cache        %d hits, %d misses, %d coalesced (hit rate %.1f%%)\n",
 		r.CacheHits, r.CacheMisses, r.CacheCoalesced, 100*r.CacheHitRate)
 	fmt.Fprintf(w, "server shed  %d total\n", r.ServerShedTotal)
+	fmt.Fprintf(w, "queue wait   p50 %.2fms  p90 %.2fms  p99 %.2fms (admitted searches)\n",
+		r.QueueWaitP50Ms, r.QueueWaitP90Ms, r.QueueWaitP99Ms)
+	fmt.Fprintf(w, "search       p50 %.2fms  p99 %.2fms,  settled p50 %.0f  p99 %.0f labels\n",
+		r.SearchP50Ms, r.SearchP99Ms, r.SettledP50, r.SettledP99)
 }
 
 // ParseMix parses a "kind=weight,kind=weight" flag value.
@@ -282,10 +301,19 @@ func RunServing(cfg ServingConfig) (*ServingReport, error) {
 	rep.CacheHits = delta(before, after, "tpserver_cache_hits_total")
 	rep.CacheMisses = delta(before, after, "tpserver_cache_misses_total")
 	rep.CacheCoalesced = delta(before, after, "tpserver_cache_coalesced_total")
-	rep.ServerShedTotal = after["tpserver_shed_total"]
+	if v, ok := after.Value("tpserver_shed_total"); ok {
+		rep.ServerShedTotal = uint64(v)
+	}
 	if lookups := rep.CacheHits + rep.CacheMisses + rep.CacheCoalesced; lookups > 0 {
 		rep.CacheHitRate = float64(rep.CacheHits+rep.CacheCoalesced) / float64(lookups)
 	}
+	rep.QueueWaitP50Ms = histQuantile(before, after, "tpserver_queue_wait_seconds", 0.50) * 1000
+	rep.QueueWaitP90Ms = histQuantile(before, after, "tpserver_queue_wait_seconds", 0.90) * 1000
+	rep.QueueWaitP99Ms = histQuantile(before, after, "tpserver_queue_wait_seconds", 0.99) * 1000
+	rep.SearchP50Ms = histQuantile(before, after, "tpserver_search_seconds", 0.50) * 1000
+	rep.SearchP99Ms = histQuantile(before, after, "tpserver_search_seconds", 0.99) * 1000
+	rep.SettledP50 = histQuantile(before, after, "tpserver_search_settled_labels", 0.50)
+	rep.SettledP99 = histQuantile(before, after, "tpserver_search_settled_labels", 0.99)
 	return &rep, nil
 }
 
@@ -327,32 +355,47 @@ func countStations(client *http.Client, base string) (int, error) {
 	return len(body.Stations), nil
 }
 
-// scrapeMetrics reads the flat "name value" series of GET /metrics
-// (labelled series are skipped).
-func scrapeMetrics(client *http.Client, base string) (map[string]uint64, error) {
+// scrapeMetrics reads GET /metrics through the strict exposition parser, so
+// a malformed /metrics page fails the load run loudly instead of silently
+// reporting zero deltas.
+func scrapeMetrics(client *http.Client, base string) (*obs.Exposition, error) {
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
 		return nil, fmt.Errorf("bench: scraping metrics: %w", err)
 	}
 	defer resp.Body.Close()
-	out := make(map[string]uint64)
-	sc := bufio.NewScanner(resp.Body)
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) != 2 || strings.Contains(fields[0], "{") {
-			continue
-		}
-		if v, err := strconv.ParseUint(fields[1], 10, 64); err == nil {
-			out[fields[0]] = v
-		}
+	exp, err := obs.Parse(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("bench: malformed /metrics exposition: %w", err)
 	}
-	return out, sc.Err()
+	return exp, nil
 }
 
-func delta(before, after map[string]uint64, name string) uint64 {
-	b, a := before[name], after[name]
+func delta(before, after *obs.Exposition, name string) uint64 {
+	b, _ := before.Value(name)
+	a, _ := after.Value(name)
 	if a < b {
 		return 0 // server restarted mid-run
 	}
-	return a - b
+	return uint64(a - b)
+}
+
+// histQuantile reads quantile q of the named server histogram over the run:
+// the before snapshot is subtracted so only observations made during the
+// load window count. Zero when the family is absent or saw no traffic.
+func histQuantile(before, after *obs.Exposition, name string, q float64) float64 {
+	fa, ok := after.Families[name]
+	if !ok {
+		return 0
+	}
+	sa, ok := fa.HistogramSnapshot(nil)
+	if !ok {
+		return 0
+	}
+	if fb, ok := before.Families[name]; ok {
+		if sb, ok := fb.HistogramSnapshot(nil); ok {
+			sa = sa.Sub(sb)
+		}
+	}
+	return sa.Quantile(q)
 }

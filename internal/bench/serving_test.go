@@ -7,24 +7,32 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"transit/internal/obs"
 )
 
 // stubServer mimics the tpserver surface the load generator touches:
-// station list, metrics, and query endpoints that shed every fourth
-// request with 429 + Retry-After.
+// station list, a real exposition-format /metrics (the scraper parses it
+// strictly now), and query endpoints that shed every fourth request with
+// 429 + Retry-After.
 func stubServer() (*httptest.Server, *atomic.Uint64) {
 	var reqs, shed atomic.Uint64
+	reg := obs.NewRegistry()
+	reg.Counter("tpserver_cache_hits_total", "stub", func() float64 { return float64(3 * reqs.Load()) })
+	reg.Counter("tpserver_cache_misses_total", "stub", func() float64 { return float64(reqs.Load()) })
+	reg.Counter("tpserver_cache_coalesced_total", "stub", func() float64 { return 0 })
+	reg.Counter("tpserver_shed_total", "stub", func() float64 { return float64(shed.Load()) })
+	reg.LabeledCounter("tpserver_requests_total", "stub", "endpoint", "v1_arrival",
+		func() float64 { return 99 })
+	queueWait := reg.NewHistogram("tpserver_queue_wait_seconds", "stub", obs.DurationBounds())
+	searchDur := reg.NewHistogram("tpserver_search_seconds", "stub", obs.DurationBounds())
+	settled := reg.NewHistogram("tpserver_search_settled_labels", "stub", obs.CountBounds())
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/stations", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, `{"stations":[{"id":0},{"id":1},{"id":2},{"id":3}]}`)
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintf(w, "tpserver_cache_hits_total %d\n", 3*reqs.Load())
-		fmt.Fprintf(w, "tpserver_cache_misses_total %d\n", reqs.Load())
-		fmt.Fprintf(w, "tpserver_cache_coalesced_total 0\n")
-		fmt.Fprintf(w, "tpserver_shed_total %d\n", shed.Load())
-		fmt.Fprintf(w, "tpserver_requests_total{endpoint=\"v1_arrival\"} 99\n") // labelled: skipped
-	})
+	mux.Handle("/metrics", reg)
 	query := func(w http.ResponseWriter, r *http.Request) {
 		if n := reqs.Add(1); n%4 == 0 {
 			shed.Add(1)
@@ -33,6 +41,9 @@ func stubServer() (*httptest.Server, *atomic.Uint64) {
 			fmt.Fprint(w, `{"error":{"code":"overloaded"}}`)
 			return
 		}
+		queueWait.Observe(0.002) // every admitted search "waited" 2ms
+		searchDur.Observe(0.010)
+		settled.Observe(1000)
 		fmt.Fprint(w, `{"reachable":true}`)
 	}
 	mux.HandleFunc("/v1/arrival", query)
@@ -84,6 +95,20 @@ func TestRunServing(t *testing.T) {
 	}
 	if got, want := rep.ShedRate, float64(rep.Shed)/float64(rep.Sent); got != want {
 		t.Fatalf("shed rate = %v, want %v", got, want)
+	}
+	// Stage percentiles come from the server histograms (every admitted
+	// search observed 2ms wait / 10ms search / 1000 settled labels; the
+	// log-bucketed histogram answers within the enclosing power-of-two
+	// bucket).
+	if rep.QueueWaitP50Ms < 1 || rep.QueueWaitP50Ms > 5 ||
+		rep.QueueWaitP99Ms < rep.QueueWaitP50Ms {
+		t.Fatalf("queue wait percentiles implausible: %+v", rep)
+	}
+	if rep.SearchP99Ms < 7 || rep.SearchP99Ms > 17 {
+		t.Fatalf("search p99 = %v ms, want ~10", rep.SearchP99Ms)
+	}
+	if rep.SettledP50 < 512 || rep.SettledP50 > 1024 {
+		t.Fatalf("settled p50 = %v, want ~1000", rep.SettledP50)
 	}
 }
 

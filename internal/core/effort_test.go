@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"transit/internal/timetable"
+)
+
+// TestEffortCounters: a query with Options.Effort set reports its work, the
+// counters accumulate across queries (one block can aggregate a batch), and
+// a nil Effort stays legal everywhere.
+func TestEffortCounters(t *testing.T) {
+	g := workspaceNet(t)
+	env := QueryEnv{Graph: g}
+	ws := NewWorkspace()
+
+	var e Effort
+	opts := QueryOptions{Options: Options{Effort: &e}}
+	if _, err := ws.StationToStation(env, 0, 5, opts); err != nil {
+		t.Fatal(err)
+	}
+	if e.Rounds.Load() != 1 {
+		t.Fatalf("rounds = %d, want 1", e.Rounds.Load())
+	}
+	if e.ConnsScanned.Load() == 0 || e.LabelsSettled.Load() == 0 {
+		t.Fatalf("search left no trace: scanned %d settled %d",
+			e.ConnsScanned.Load(), e.LabelsSettled.Load())
+	}
+	scanned := e.ConnsScanned.Load()
+
+	// Counters accumulate: a second query adds to the same block.
+	if _, err := ws.StationToStation(env, 3, 11, opts); err != nil {
+		t.Fatal(err)
+	}
+	if e.Rounds.Load() != 2 {
+		t.Fatalf("rounds after second query = %d, want 2", e.Rounds.Load())
+	}
+	if e.ConnsScanned.Load() <= scanned {
+		t.Fatalf("conns scanned did not grow: %d -> %d", scanned, e.ConnsScanned.Load())
+	}
+
+	// The snapshot mirrors the counters; Reset zeroes them.
+	snap := e.Snapshot()
+	if snap.Rounds != 2 || snap.ConnsScanned != e.ConnsScanned.Load() {
+		t.Fatalf("snapshot %+v does not match counters", snap)
+	}
+	e.Reset()
+	if e.Rounds.Load() != 0 || e.ConnsScanned.Load() != 0 {
+		t.Fatal("Reset left counters behind")
+	}
+
+	// Time queries feed the same block.
+	if _, err := ws.TimeQuery(g, 0, 480, Options{Effort: &e}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Rounds.Load() != 1 || e.LabelsSettled.Load() == 0 {
+		t.Fatalf("time query effort: rounds %d settled %d", e.Rounds.Load(), e.LabelsSettled.Load())
+	}
+
+	// nil Effort: both the option and direct Observe/Snapshot calls.
+	if _, err := ws.StationToStation(env, 0, 5, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var nilE *Effort
+	nilE.Observe(nil)
+	if s := nilE.Snapshot(); s.Rounds != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+}
+
+// TestStationQueryEffortAllocs pins the observability cost: attaching an
+// Effort block must not add a single allocation to the steady-state query
+// path (the counters are plain atomics bumped from existing loops).
+func TestStationQueryEffortAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	g := workspaceNet(t)
+	env := QueryEnv{Graph: g}
+	ws := NewWorkspace()
+	ns := g.TT.NumStations()
+	var e Effort
+	opts := QueryOptions{Options: Options{Effort: &e}}
+	pair := func(i int) (timetable.StationID, timetable.StationID) {
+		src := timetable.StationID((i * 31) % ns)
+		dst := timetable.StationID((i*17 + 5) % ns)
+		if src == dst {
+			dst = timetable.StationID((int(dst) + 1) % ns)
+		}
+		return src, dst
+	}
+	for i := 0; i < 8; i++ {
+		src, dst := pair(i)
+		if _, err := ws.StationToStation(env, src, dst, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(64, func() {
+		src, dst := pair(i)
+		i++
+		if _, err := ws.StationToStation(env, src, dst, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("effort-tracked station query allocates %.1f objects/op, want ≤ 2", allocs)
+	}
+}

@@ -4,7 +4,12 @@ import (
 	"fmt"
 
 	"transit/internal/pq"
+	"transit/internal/stats"
 )
+
+// Effort aliases stats.Effort so callers attaching a per-query counter
+// block only need the core package.
+type Effort = stats.Effort
 
 // PartitionStrategy selects how conn(S) is split across threads
 // (Section 3.2, "Choice of the Partition").
@@ -58,6 +63,10 @@ type Options struct {
 	// abandon the search with ErrCancelled once it is closed. Callers
 	// normally set this to ctx.Done() of the request driving the query.
 	Done <-chan struct{}
+	// Effort, when non-nil, receives the search's work counters: each
+	// orchestrator folds its finished Run into the block with one batch of
+	// atomic adds. Nil costs nothing — the settle loops never see it.
+	Effort *Effort
 }
 
 func (o Options) threads() int {

@@ -104,6 +104,7 @@ func OneToAllPareto(g *graph.Graph, source timetable.StationID, maxTransfers int
 		res.Run.Total.Add(w.counters)
 	}
 	res.Run.Elapsed = time.Since(start)
+	opts.Effort.Observe(&res.Run)
 	return res, nil
 }
 
@@ -239,9 +240,12 @@ func (w *paretoWorker) run() {
 	for !heap.Empty() {
 		it, key := heap.PopMin()
 		w.counters.QueuePops++
-		if done != nil && w.counters.QueuePops&cancelMask == 0 && cancelled(done) {
-			w.cancelled = true
-			return
+		if done != nil && w.counters.QueuePops&cancelMask == 0 {
+			w.counters.CancelPolls++
+			if cancelled(done) {
+				w.cancelled = true
+				return
+			}
 		}
 		v := graph.NodeID(int(it) / stride)
 		rem := int(it) % stride

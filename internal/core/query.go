@@ -233,6 +233,7 @@ func (ws *Workspace) StationToStation(env QueryEnv, source, target timetable.Sta
 			res.TableHit = true
 			res.Run.Elapsed = time.Since(start)
 			res.Run.PerThread = ws.counters(1)
+			opts.Effort.Observe(&res.Run)
 			return res, nil
 		}
 		// Determine via(T) on the fly; the DFS also classifies the query.
@@ -296,6 +297,7 @@ func (ws *Workspace) StationToStation(env QueryEnv, source, target timetable.Sta
 		res.Run.Total.Add(workers[t].counters)
 	}
 	res.Run.Elapsed = time.Since(start)
+	opts.Effort.Observe(&res.Run)
 	return res, nil
 }
 
@@ -432,9 +434,12 @@ func (w *s2sWorker) run() {
 	for !heap.Empty() {
 		it, key := heap.PopMin()
 		w.counters.QueuePops++
-		if done != nil && w.counters.QueuePops&cancelMask == 0 && cancelled(done) {
-			w.cancelled = true
-			return
+		if done != nil && w.counters.QueuePops&cancelMask == 0 {
+			w.counters.CancelPolls++
+			if cancelled(done) {
+				w.cancelled = true
+				return
+			}
 		}
 		v := graph.NodeID(int(it) / kLocal)
 		iLocal := int(it) % kLocal

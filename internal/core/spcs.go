@@ -72,9 +72,12 @@ func (w *spcsWorker) run() {
 	for !heap.Empty() {
 		it, key := heap.PopMin()
 		w.counters.QueuePops++
-		if done != nil && w.counters.QueuePops&cancelMask == 0 && cancelled(done) {
-			w.cancelled = true
-			return
+		if done != nil && w.counters.QueuePops&cancelMask == 0 {
+			w.counters.CancelPolls++
+			if cancelled(done) {
+				w.cancelled = true
+				return
+			}
 		}
 		v := graph.NodeID(int(it) / kLocal)
 		iLocal := int(it) % kLocal
@@ -222,5 +225,6 @@ func (ws *Workspace) OneToAllWindow(g *graph.Graph, source timetable.StationID, 
 		res.Run.Total.Add(workers[t].counters)
 	}
 	res.Run.Elapsed = time.Since(start)
+	opts.Effort.Observe(&res.Run)
 	return res, nil
 }

@@ -100,8 +100,11 @@ func (ws *Workspace) TimeQuery(g *graph.Graph, source timetable.StationID, depar
 	for !heap.Empty() {
 		it, key := heap.PopMin()
 		c.QueuePops++
-		if done != nil && c.QueuePops&cancelMask == 0 && cancelled(done) {
-			return nil, ErrCancelled
+		if done != nil && c.QueuePops&cancelMask == 0 {
+			c.CancelPolls++
+			if cancelled(done) {
+				return nil, ErrCancelled
+			}
 		}
 		v := graph.NodeID(it)
 		settledGen[v] = gen
@@ -121,5 +124,6 @@ func (ws *Workspace) TimeQuery(g *graph.Graph, source timetable.StationID, depar
 	res.Run.PerThread = ws.pt1[:1]
 	res.Run.Total = c
 	res.Run.Elapsed = time.Since(start)
+	opts.Effort.Observe(&res.Run)
 	return res, nil
 }

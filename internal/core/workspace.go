@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"transit/internal/dtable"
 	"transit/internal/graph"
@@ -124,15 +125,30 @@ func NewWorkspace() *Workspace {
 	}
 }
 
-var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
+var (
+	wsPool     = sync.Pool{New: func() any { return NewWorkspace() }}
+	wsPoolGets atomic.Uint64
+	wsPoolPuts atomic.Uint64
+)
 
 // GetWorkspace checks a workspace out of the package pool. Pair with
 // PutWorkspace once every result borrowed from it is dead.
-func GetWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
+func GetWorkspace() *Workspace {
+	wsPoolGets.Add(1)
+	return wsPool.Get().(*Workspace)
+}
 
 // PutWorkspace returns a workspace to the package pool. The caller must not
 // touch the workspace — or any result obtained from it — afterwards.
-func PutWorkspace(ws *Workspace) { wsPool.Put(ws) }
+func PutWorkspace(ws *Workspace) {
+	wsPoolPuts.Add(1)
+	wsPool.Put(ws)
+}
+
+// PoolStats reports cumulative workspace-pool checkouts and returns. A
+// widening gets−puts gap means callers are leaking workspaces (every leak
+// is a future allocation the pool cannot serve).
+func PoolStats() (gets, puts uint64) { return wsPoolGets.Load(), wsPoolPuts.Load() }
 
 // begin starts a new query generation. On the (once per 2^32 queries)
 // stamp wrap-around every stamp array is wiped, so a stale slot can never

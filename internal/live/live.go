@@ -121,6 +121,8 @@ type Registry struct {
 	rowsRepaired     atomic.Uint64
 	fullRebuilds     atomic.Uint64
 	lastReproMicros  atomic.Int64
+	repairMicros     atomic.Int64 // cumulative time spent in repairs/rebuilds
+	lastApplyMicros  atomic.Int64 // Unix µs of the last epoch-advancing Apply
 	persists         atomic.Uint64
 	persistErrors    atomic.Uint64
 	persistedKey     atomic.Int64 // persistKey of the last PersistFile write; 0 = none
@@ -185,6 +187,7 @@ func (r *Registry) Apply(ops []transit.DelayOp) (*Snapshot, *transit.UpdateStats
 	}
 	snap := &Snapshot{Net: next, Epoch: cur.Epoch + 1, Created: time.Now()}
 	r.cur.Store(snap)
+	r.lastApplyMicros.Store(snap.Created.UnixMicro())
 	r.updates.Add(1)
 	r.connsRetimed.Add(uint64(st.ConnsRetimed))
 	r.connsCancelled.Add(uint64(st.ConnsCancelled))
@@ -208,6 +211,7 @@ func (r *Registry) Apply(ops []transit.DelayOp) (*Snapshot, *transit.UpdateStats
 func (r *Registry) noteRepreprocess(ps *transit.PreprocessStats) {
 	r.reprocessed.Add(1)
 	r.lastReproMicros.Store(ps.Elapsed.Microseconds())
+	r.repairMicros.Add(ps.Elapsed.Microseconds())
 	if ps.FullRebuild {
 		r.fullRebuilds.Add(1)
 	} else {
@@ -313,8 +317,17 @@ type Metrics struct {
 	RowsRepairedTotal uint64
 	FullRebuildsTotal uint64
 	LastReprocess     time.Duration
-	PersistsTotal     uint64
-	PersistErrors     uint64
+	// RepairDuration is the cumulative wall-clock time spent in all repairs
+	// and rebuilds — divided by ReprocessedTotal it is the mean repair cost,
+	// and its rate is the fraction of real time the delay feed keeps the
+	// preprocessor busy.
+	RepairDuration time.Duration
+	// LastApply is the wall-clock time of the last epoch-advancing delay
+	// batch (zero until the first one); now()−LastApply is the delay feed's
+	// ingestion lag.
+	LastApply     time.Time
+	PersistsTotal uint64
+	PersistErrors uint64
 }
 
 // Metrics reads the counters (wait-free).
@@ -333,7 +346,16 @@ func (r *Registry) Metrics() Metrics {
 		RowsRepairedTotal: r.rowsRepaired.Load(),
 		FullRebuildsTotal: r.fullRebuilds.Load(),
 		LastReprocess:     time.Duration(r.lastReproMicros.Load()) * time.Microsecond,
+		RepairDuration:    time.Duration(r.repairMicros.Load()) * time.Microsecond,
+		LastApply:         lastApply(r.lastApplyMicros.Load()),
 		PersistsTotal:     r.persists.Load(),
 		PersistErrors:     r.persistErrors.Load(),
 	}
+}
+
+func lastApply(micros int64) time.Time {
+	if micros == 0 {
+		return time.Time{}
+	}
+	return time.UnixMicro(micros)
 }

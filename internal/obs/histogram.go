@@ -1,0 +1,159 @@
+// Package obs is the server's dependency-free observability layer:
+// lock-free log-bucketed histograms, a small metric registry that renders
+// the Prometheus text exposition format (0.0.4), and a strict parser for
+// that format shared by tests and the load-generator scrape path.
+//
+// Everything here is allocation-free on the hot path: observing a value
+// into a histogram is one binary search over a fixed bound slice plus two
+// atomic operations. The write side never takes a lock; scrapes read the
+// counters with plain atomic loads, so a snapshot taken during a burst of
+// writes may be torn by a handful of in-flight observations — the same
+// weak-consistency contract Prometheus client libraries offer.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bound, lock-free histogram: one atomic counter per
+// bucket plus a CAS-maintained float64 sum. Bounds are upper bucket
+// boundaries (le semantics) in ascending order; an implicit +Inf bucket
+// catches everything above the last bound.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+// The slice is retained; callers must not mutate it afterwards.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// DurationBounds is the shared log2-spaced latency bucket layout: 2^-20 s
+// (~1 µs) through 2^6 s (64 s), one bucket per power of two. 27 buckets
+// cover the full range from a cache hit to a pathological stall with ≤2×
+// relative error per bucket.
+func DurationBounds() []float64 {
+	b := make([]float64, 0, 27)
+	for e := -20; e <= 6; e++ {
+		b = append(b, math.Ldexp(1, e))
+	}
+	return b
+}
+
+// CountBounds is the log2-spaced layout for work counters (settled labels,
+// queue pops): 1 through 2^24.
+func CountBounds() []float64 {
+	b := make([]float64, 0, 25)
+	for e := 0; e <= 24; e++ {
+		b = append(b, math.Ldexp(1, e))
+	}
+	return b
+}
+
+// Observe records one value. Negative values clamp to zero; NaN is
+// dropped. Allocation-free and safe for concurrent use.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Snapshot is a point-in-time copy of a histogram's state. Counts are
+// per-bucket (not cumulative), len(Counts) == len(Bounds)+1 with the last
+// entry the +Inf bucket.
+type Snapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the current state. Taken during concurrent writes it may
+// miss observations that are mid-flight, but it never tears a single
+// bucket counter.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{Bounds: h.bounds, Counts: make([]uint64, len(h.counts))}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = math.Float64frombits(h.sum.Load())
+	return s
+}
+
+// Sub returns the observation delta s−prev (for scrape-interval
+// percentiles). Mismatched layouts or counter resets return the zero
+// Snapshot.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	if len(s.Counts) != len(prev.Counts) {
+		return Snapshot{}
+	}
+	out := Snapshot{Bounds: s.Bounds, Counts: make([]uint64, len(s.Counts)), Sum: s.Sum - prev.Sum}
+	for i := range s.Counts {
+		if s.Counts[i] < prev.Counts[i] {
+			return Snapshot{}
+		}
+		out.Counts[i] = s.Counts[i] - prev.Counts[i]
+		out.Count += out.Counts[i]
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the containing bucket — the standard Prometheus histogram_quantile
+// estimate. An empty snapshot returns 0; quantiles landing in the +Inf
+// bucket return the largest finite bound.
+func (s Snapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) { // +Inf bucket: no upper edge to interpolate to
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		return lo + (s.Bounds[i]-lo)*(rank-prev)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

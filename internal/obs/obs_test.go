@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 5, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// le semantics: 0.5,1 → bucket le=1; 1.5,2 → le=2; 3,4 → le=4; 5,100 → +Inf.
+	want := []uint64{2, 2, 2, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 8 {
+		t.Errorf("Count = %d, want 8", s.Count)
+	}
+	if s.Sum != 0.5+1+1.5+2+3+4+5+100 {
+		t.Errorf("Sum = %g", s.Sum)
+	}
+}
+
+func TestHistogramNaNAndNegative(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(math.NaN())
+	h.Observe(-5)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("Count = %d, want 1 (NaN dropped, negative clamped)", s.Count)
+	}
+	if s.Counts[0] != 1 {
+		t.Fatalf("negative value should clamp into the first bucket")
+	}
+	if s.Sum != 0 {
+		t.Fatalf("Sum = %g, want 0", s.Sum)
+	}
+}
+
+func TestHistogramAscendingPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-ascending bounds")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+// TestHistogramConcurrentWriters hammers one histogram from many
+// goroutines and checks that no observation is lost. Run under -race this
+// doubles as the data-race proof for the lock-free write path.
+func TestHistogramConcurrentWriters(t *testing.T) {
+	h := NewHistogram(DurationBounds())
+	const (
+		writers = 8
+		perW    = 5000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(float64(i%1000) / 1e6)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != writers*perW {
+		t.Fatalf("Count = %d, want %d (lost observations)", s.Count, writers*perW)
+	}
+	var wantSum float64
+	for i := 0; i < perW; i++ {
+		wantSum += float64(i%1000) / 1e6
+	}
+	wantSum *= writers
+	if math.Abs(s.Sum-wantSum) > 1e-9*wantSum {
+		t.Fatalf("Sum = %g, want %g", s.Sum, wantSum)
+	}
+}
+
+func TestSnapshotSubAndQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	before := h.Snapshot()
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all in bucket le=2
+	}
+	d := h.Snapshot().Sub(before)
+	if d.Count != 100 {
+		t.Fatalf("delta Count = %d, want 100", d.Count)
+	}
+	q := d.Quantile(0.5)
+	if q < 1 || q > 2 {
+		t.Fatalf("median %g outside containing bucket (1,2]", q)
+	}
+	if got := (Snapshot{}).Quantile(0.99); got != 0 {
+		t.Fatalf("empty snapshot quantile = %g, want 0", got)
+	}
+	// +Inf bucket quantile returns the largest finite bound.
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(50)
+	if got := h2.Snapshot().Quantile(0.99); got != 1 {
+		t.Fatalf("+Inf quantile = %g, want 1", got)
+	}
+}
+
+func TestSnapshotSubMismatch(t *testing.T) {
+	a := NewHistogram([]float64{1}).Snapshot()
+	b := NewHistogram([]float64{1, 2}).Snapshot()
+	if d := b.Sub(a); d.Count != 0 || d.Counts != nil {
+		t.Fatalf("mismatched layouts should return zero Snapshot, got %+v", d)
+	}
+}
+
+func TestRegistryExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_requests_total", "Total requests.", func() float64 { return 42 })
+	r.Gauge("test_epoch", "Current epoch.", func() float64 { return 3 })
+	r.LabeledCounter("test_hits_total", "Hits by endpoint.", "endpoint", "arrival", func() float64 { return 7 })
+	r.LabeledCounter("test_hits_total", "Hits by endpoint.", "endpoint", "profile", func() float64 { return 9 })
+	h := r.NewHistogram("test_latency_seconds", "Latency.", DurationBounds())
+	h.ObserveDuration(3 * time.Millisecond)
+	h.ObserveDuration(20 * time.Millisecond)
+	hk := r.NewLabeledHistogram("test_kind_seconds", "Per kind.", "kind", "matrix", CountBounds())
+	hk.Observe(100)
+
+	var b strings.Builder
+	if err := r.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("exposition does not parse:\n%s\nerror: %v", b.String(), err)
+	}
+	if v, ok := exp.Value("test_requests_total"); !ok || v != 42 {
+		t.Fatalf("test_requests_total = %g, %v", v, ok)
+	}
+	if v, ok := exp.Value("test_epoch"); !ok || v != 3 {
+		t.Fatalf("test_epoch = %g, %v", v, ok)
+	}
+	f := exp.Families["test_latency_seconds"]
+	if f == nil || f.Type != "histogram" {
+		t.Fatal("missing histogram family")
+	}
+	snap, ok := f.HistogramSnapshot(nil)
+	if !ok {
+		t.Fatal("HistogramSnapshot failed")
+	}
+	if snap.Count != 2 {
+		t.Fatalf("reconstructed Count = %d, want 2", snap.Count)
+	}
+	if math.Abs(snap.Sum-0.023) > 1e-9 {
+		t.Fatalf("reconstructed Sum = %g, want 0.023", snap.Sum)
+	}
+	fk := exp.Families["test_kind_seconds"]
+	if fk == nil {
+		t.Fatal("missing labeled histogram family")
+	}
+	if _, ok := fk.HistogramSnapshot(map[string]string{"kind": "matrix"}); !ok {
+		t.Fatal("labeled HistogramSnapshot failed")
+	}
+	if _, ok := fk.HistogramSnapshot(map[string]string{"kind": "nope"}); ok {
+		t.Fatal("HistogramSnapshot matched a nonexistent label value")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"duplicate unlabeled", func(r *Registry) {
+			r.Counter("a_total", "A.", func() float64 { return 0 })
+			r.Counter("a_total", "A.", func() float64 { return 0 })
+		}},
+		{"conflicting help", func(r *Registry) {
+			r.Counter("a_total", "A.", func() float64 { return 0 })
+			r.LabeledCounter("a_total", "B.", "k", "v", func() float64 { return 0 })
+		}},
+		{"conflicting type", func(r *Registry) {
+			r.Counter("a_total", "A.", func() float64 { return 0 })
+			r.Gauge("a_total", "A.", func() float64 { return 0 })
+		}},
+		{"duplicate label pair", func(r *Registry) {
+			r.LabeledCounter("a_total", "A.", "k", "v", func() float64 { return 0 })
+			r.LabeledCounter("a_total", "A.", "k", "v", func() float64 { return 0 })
+		}},
+		{"invalid name", func(r *Registry) {
+			r.Counter("bad name", "A.", func() float64 { return 0 })
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tc.fn(NewRegistry())
+		})
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"sample without TYPE", "foo_total 1\n"},
+		{"duplicate series", "# TYPE a_total counter\na_total 1\na_total 2\n"},
+		{"duplicate labeled series", "# TYPE a_total counter\na_total{k=\"v\"} 1\na_total{k=\"v\"} 2\n"},
+		{"duplicate TYPE", "# TYPE a_total counter\n# TYPE a_total counter\na_total 1\n"},
+		{"TYPE after samples", "# TYPE a_total counter\na_total 1\n# TYPE b gauge\n# HELP a_total late\n# TYPE a_total counter\n"},
+		{"bad value", "# TYPE a_total counter\na_total x\n"},
+		{"unknown type", "# TYPE a_total widget\na_total 1\n"},
+		{"arbitrary comment", "#!comment\n"},
+		{"unterminated labels", "# TYPE a_total counter\na_total{k=\"v 1\n"},
+		{"non-monotone histogram", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n"},
+		{"missing +Inf bucket", "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 1\nh_count 2\n"},
+		{"count disagrees", "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 5\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("expected parse error for:\n%s", tc.in)
+			}
+		})
+	}
+}
+
+func TestParseAcceptsWellFormed(t *testing.T) {
+	in := `# HELP up Whether the server is up.
+# TYPE up gauge
+up 1
+# TYPE h histogram
+h_bucket{le="0.1"} 1
+h_bucket{le="+Inf"} 3
+h_sum 12.5
+h_count 3
+`
+	exp, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := exp.Value("up"); !ok || v != 1 {
+		t.Fatalf("up = %g, %v", v, ok)
+	}
+	snap, ok := exp.Families["h"].HistogramSnapshot(nil)
+	if !ok || snap.Count != 3 || snap.Counts[0] != 1 || snap.Counts[1] != 2 {
+		t.Fatalf("snapshot = %+v, %v", snap, ok)
+	}
+}

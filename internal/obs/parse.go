@@ -1,0 +1,409 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed series value. Name is the full sample name
+// (including a _bucket/_sum/_count suffix for histogram samples).
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one parsed metric family with its metadata and samples in
+// input order.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Exposition is a fully parsed scrape.
+type Exposition struct {
+	Families map[string]*Family
+}
+
+// Value returns the value of the family's single unlabeled sample.
+func (e *Exposition) Value(name string) (float64, bool) {
+	f, ok := e.Families[name]
+	if !ok {
+		return 0, false
+	}
+	for _, s := range f.Samples {
+		if len(s.Labels) == 0 {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// HistogramSnapshot reconstructs a Snapshot from a histogram family's
+// cumulative _bucket/_sum/_count samples, selecting the series whose
+// non-le labels equal want (nil or empty selects the unlabeled series).
+func (f *Family) HistogramSnapshot(want map[string]string) (Snapshot, bool) {
+	if f.Type != "histogram" {
+		return Snapshot{}, false
+	}
+	match := func(labels map[string]string) bool {
+		n := 0
+		for k, v := range labels {
+			if k == "le" {
+				continue
+			}
+			if want[k] != v {
+				return false
+			}
+			n++
+		}
+		return n == len(want)
+	}
+	type edge struct {
+		le  float64
+		cum uint64
+	}
+	var (
+		edges []edge
+		snap  Snapshot
+	)
+	for _, s := range f.Samples {
+		if !match(s.Labels) {
+			continue
+		}
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, err := parseLe(s.Labels["le"])
+			if err != nil {
+				return Snapshot{}, false
+			}
+			edges = append(edges, edge{le: le, cum: uint64(s.Value)})
+		case f.Name + "_sum":
+			snap.Sum = s.Value
+		case f.Name + "_count":
+			snap.Count = uint64(s.Value)
+		}
+	}
+	if len(edges) == 0 {
+		return Snapshot{}, false
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].le < edges[j].le })
+	var prev uint64
+	for _, e := range edges {
+		if !math.IsInf(e.le, 1) {
+			snap.Bounds = append(snap.Bounds, e.le)
+		}
+		snap.Counts = append(snap.Counts, e.cum-prev)
+		prev = e.cum
+	}
+	return snap, true
+}
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// Parse reads a text-format exposition strictly: every sample must belong
+// to a family announced by a preceding # TYPE line, metadata lines must
+// not repeat, duplicate series are rejected, and histogram families must
+// have monotone cumulative buckets ending in a +Inf bucket that agrees
+// with _count. Anything malformed is an error, not a skip — the parser is
+// the test oracle for the registry's writer and the scrape path of the
+// load generator.
+func Parse(r io.Reader) (*Exposition, error) {
+	e := &Exposition{Families: make(map[string]*Family)}
+	seen := make(map[string]bool) // sample name + canonical label set
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := e.parseMeta(line); err != nil {
+				return nil, fmt.Errorf("obs: line %d: %w", lineno, err)
+			}
+			continue
+		}
+		if err := e.parseSample(line, seen); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineno, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := e.validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *Exposition) parseMeta(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return fmt.Errorf("malformed comment %q (only # HELP and # TYPE allowed)", line)
+	}
+	name := fields[2]
+	switch fields[1] {
+	case "HELP":
+		f := e.family(name)
+		if f.Help != "" {
+			return fmt.Errorf("duplicate # HELP for %s", name)
+		}
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("# HELP for %s after its samples", name)
+		}
+		help := ""
+		if len(fields) == 4 {
+			help = fields[3]
+		}
+		if help == "" {
+			return fmt.Errorf("empty # HELP for %s", name)
+		}
+		f.Help = help
+		return nil
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed # TYPE line %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %s", fields[3], name)
+		}
+		f := e.family(name)
+		if f.Type != "" {
+			return fmt.Errorf("duplicate # TYPE for %s", name)
+		}
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("# TYPE for %s after its samples", name)
+		}
+		f.Type = fields[3]
+		return nil
+	default:
+		return fmt.Errorf("malformed comment %q (only # HELP and # TYPE allowed)", line)
+	}
+}
+
+func (e *Exposition) family(name string) *Family {
+	f, ok := e.Families[name]
+	if !ok {
+		f = &Family{Name: name}
+		e.Families[name] = f
+	}
+	return f
+}
+
+// familyOf maps a sample name to its declaring family: exact match, or the
+// base name of a histogram's _bucket/_sum/_count samples.
+func (e *Exposition) familyOf(sample string) (*Family, error) {
+	if f, ok := e.Families[sample]; ok && f.Type != "" {
+		return f, nil
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suffix)
+		if base == sample {
+			continue
+		}
+		if f, ok := e.Families[base]; ok && f.Type == "histogram" {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("sample %s has no preceding # TYPE declaration", sample)
+}
+
+func (e *Exposition) parseSample(line string, seen map[string]bool) error {
+	name := line
+	rest := ""
+	labels := map[string]string{}
+	if i := strings.IndexAny(line, "{ "); i < 0 {
+		return fmt.Errorf("malformed sample %q", line)
+	} else if line[i] == '{' {
+		name = line[:i]
+		var err error
+		if labels, rest, err = parseLabels(line[i:]); err != nil {
+			return fmt.Errorf("sample %s: %w", name, err)
+		}
+	} else {
+		name, rest = line[:i], line[i:]
+	}
+	if name == "" {
+		return fmt.Errorf("malformed sample %q", line)
+	}
+	parts := strings.Fields(rest)
+	if len(parts) < 1 || len(parts) > 2 { // optional trailing timestamp
+		return fmt.Errorf("sample %s: malformed value %q", name, rest)
+	}
+	v, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return fmt.Errorf("sample %s: bad value %q", name, parts[0])
+	}
+	f, err := e.familyOf(name)
+	if err != nil {
+		return err
+	}
+	id := seriesID(name, labels)
+	if seen[id] {
+		return fmt.Errorf("duplicate series %s", id)
+	}
+	seen[id] = true
+	f.Samples = append(f.Samples, Sample{Name: name, Labels: labels, Value: v})
+	return nil
+}
+
+func seriesID(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// parseLabels consumes a {k="v",...} block and returns the remainder of
+// the line.
+func parseLabels(s string) (map[string]string, string, error) {
+	if len(s) == 0 || s[0] != '{' {
+		return nil, "", fmt.Errorf("missing label block")
+	}
+	labels := make(map[string]string)
+	i := 1
+	for {
+		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return labels, s[i+1:], nil
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("malformed label block %q", s)
+		}
+		key := s[i : i+eq]
+		if key == "" {
+			return nil, "", fmt.Errorf("empty label name in %q", s)
+		}
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, "", fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return nil, "", fmt.Errorf("unterminated label value in %q", s)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, "", fmt.Errorf("dangling escape in %q", s)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("bad escape \\%c in %q", s[i+1], s)
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := labels[key]; dup {
+			return nil, "", fmt.Errorf("duplicate label %s in %q", key, s)
+		}
+		labels[key] = val.String()
+	}
+}
+
+// validate runs the cross-sample checks: histogram bucket consistency per
+// series group.
+func (e *Exposition) validate() error {
+	for name, f := range e.Families {
+		if f.Type == "" {
+			return fmt.Errorf("obs: family %s has metadata but no # TYPE", name)
+		}
+		if f.Type != "histogram" {
+			continue
+		}
+		// Group buckets by their non-le label set.
+		groups := make(map[string][]Sample)
+		counts := make(map[string]uint64)
+		for _, s := range f.Samples {
+			rest := make(map[string]string, len(s.Labels))
+			for k, v := range s.Labels {
+				if k != "le" {
+					rest[k] = v
+				}
+			}
+			id := seriesID(name, rest)
+			switch s.Name {
+			case name + "_bucket":
+				groups[id] = append(groups[id], s)
+			case name + "_count":
+				counts[id] = uint64(s.Value)
+			}
+		}
+		for id, buckets := range groups {
+			sort.Slice(buckets, func(i, j int) bool {
+				a, _ := parseLe(buckets[i].Labels["le"])
+				b, _ := parseLe(buckets[j].Labels["le"])
+				return a < b
+			})
+			var prev float64
+			for _, b := range buckets {
+				if _, err := parseLe(b.Labels["le"]); err != nil {
+					return fmt.Errorf("obs: histogram %s: bad le %q", id, b.Labels["le"])
+				}
+				if b.Value < prev {
+					return fmt.Errorf("obs: histogram %s: non-monotone cumulative buckets", id)
+				}
+				prev = b.Value
+			}
+			last := buckets[len(buckets)-1]
+			if le, _ := parseLe(last.Labels["le"]); !math.IsInf(le, 1) {
+				return fmt.Errorf("obs: histogram %s: missing +Inf bucket", id)
+			}
+			if uint64(last.Value) != counts[id] {
+				return fmt.Errorf("obs: histogram %s: +Inf bucket %g disagrees with _count %d",
+					id, last.Value, counts[id])
+			}
+		}
+	}
+	return nil
+}

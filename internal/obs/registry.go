@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format with one # HELP / # TYPE header per family.
+// Registration happens at server construction; after that scrapes only
+// read, so the mutex is uncontended in the steady state.
+//
+// Duplicate families (same name, different help or type) and duplicate
+// series (same name and label pair) panic at registration: metrics are
+// wired once at startup and a collision is a programming error the strict
+// parser would otherwise report on every scrape.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+type family struct {
+	name, help, typ string
+	series          []*series
+}
+
+type series struct {
+	key, val string // one optional label pair; key == "" means unlabeled
+	sample   func() float64
+	hist     *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: make(map[string]*family)} }
+
+func (r *Registry) register(name, help, typ, key, val string, s *series) {
+	if name == "" || strings.ContainsAny(name, " \n{}") {
+		panic("obs: invalid metric name " + strconv.Quote(name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.fams[name] = f
+	} else if f.typ != typ || f.help != help {
+		panic("obs: conflicting registration of " + name)
+	} else if key == "" {
+		panic("obs: duplicate unlabeled series " + name)
+	}
+	for _, prev := range f.series {
+		if prev.key == key && prev.val == val {
+			panic(fmt.Sprintf("obs: duplicate series %s{%s=%q}", name, key, val))
+		}
+	}
+	s.key, s.val = key, val
+	f.series = append(f.series, s)
+}
+
+// Counter registers a monotonically increasing value read via sample.
+func (r *Registry) Counter(name, help string, sample func() float64) {
+	r.register(name, help, "counter", "", "", &series{sample: sample})
+}
+
+// Gauge registers a point-in-time value read via sample.
+func (r *Registry) Gauge(name, help string, sample func() float64) {
+	r.register(name, help, "gauge", "", "", &series{sample: sample})
+}
+
+// LabeledCounter registers one series of a counter family carrying a
+// single label pair. All series of a family must share the label key.
+func (r *Registry) LabeledCounter(name, help, key, val string, sample func() float64) {
+	r.register(name, help, "counter", key, val, &series{sample: sample})
+}
+
+// NewHistogram registers and returns an unlabeled histogram family.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.register(name, help, "histogram", "", "", &series{hist: h})
+	return h
+}
+
+// NewLabeledHistogram registers one labeled series of a histogram family
+// and returns its histogram.
+func (r *Registry) NewLabeledHistogram(name, help, key, val string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.register(name, help, "histogram", key, val, &series{hist: h})
+	return h
+}
+
+// Write renders every family, sorted by name, in text exposition format.
+func (r *Registry) Write(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.fams[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		ser := append([]*series(nil), f.series...)
+		sort.Slice(ser, func(i, j int) bool { return ser[i].val < ser[j].val })
+		for _, s := range ser {
+			if s.hist != nil {
+				writeHistogram(&b, f.name, s)
+				continue
+			}
+			if s.key == "" {
+				fmt.Fprintf(&b, "%s %s\n", f.name, formatValue(s.sample()))
+			} else {
+				fmt.Fprintf(&b, "%s{%s=%q} %s\n", f.name, s.key, s.val, formatValue(s.sample()))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHistogram(b *strings.Builder, name string, s *series) {
+	snap := s.hist.Snapshot()
+	prefix := "" // rendered label pair before le, e.g. `endpoint="arrival",`
+	if s.key != "" {
+		prefix = fmt.Sprintf("%s=%q,", s.key, s.val)
+	}
+	var cum uint64
+	for i, c := range snap.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(snap.Bounds) {
+			le = formatValue(snap.Bounds[i])
+		}
+		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", name, prefix, le, cum)
+	}
+	if s.key == "" {
+		fmt.Fprintf(b, "%s_sum %s\n", name, formatValue(snap.Sum))
+		fmt.Fprintf(b, "%s_count %d\n", name, snap.Count)
+	} else {
+		fmt.Fprintf(b, "%s_sum{%s=%q} %s\n", name, s.key, s.val, formatValue(snap.Sum))
+		fmt.Fprintf(b, "%s_count{%s=%q} %d\n", name, s.key, s.val, snap.Count)
+	}
+}
+
+// ServeHTTP makes the registry a /metrics handler.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.Write(w)
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -26,6 +26,11 @@ type Counters struct {
 	QueuePops int64
 	// Relaxed counts edge relaxations.
 	Relaxed int64
+	// CancelPolls counts cancel-stride checks: how often the settle loop
+	// looked at the Done channel. A measure of cancellation latency — the
+	// loop can run for at most (stride × per-pop cost) after a cancel
+	// before it notices.
+	CancelPolls int64
 }
 
 // Add accumulates other into c.
@@ -35,6 +40,7 @@ func (c *Counters) Add(other Counters) {
 	c.QueuePushes += other.QueuePushes
 	c.QueuePops += other.QueuePops
 	c.Relaxed += other.Relaxed
+	c.CancelPolls += other.CancelPolls
 }
 
 func (c Counters) String() string {

@@ -33,6 +33,12 @@ type Options struct {
 	// falls back to a full rebuild; 0 means RepairMaxDirtyDefault, negative
 	// values always rebuild.
 	RepairMaxDirty float64
+	// Effort, when non-nil, receives the query's search-work counters
+	// (connections scanned, labels settled, priority-queue traffic). The
+	// block is caller-owned and atomic, so one Effort can be shared across
+	// the worker goroutines of a matrix or parallel profile query. Nil —
+	// the default — costs nothing.
+	Effort *SearchEffort
 }
 
 // sourceParallelism returns the effective PreprocessWorkers value.
@@ -44,7 +50,7 @@ func (o Options) sourceParallelism() int {
 }
 
 func (o Options) core() core.Options {
-	c := core.Options{Threads: o.Threads, TrackParents: o.TrackJourneys}
+	c := core.Options{Threads: o.Threads, TrackParents: o.TrackJourneys, Effort: o.Effort}
 	switch o.Partition {
 	case "", "equal-connections":
 		c.Partition = core.EqualConnections
