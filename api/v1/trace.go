@@ -21,6 +21,9 @@ type Effort = transit.SearchEffortSnapshot
 // wall time and exceeds the sum by routing/decode overhead.
 type Trace struct {
 	TraceID string `json:"trace_id"`
+	// Network is the catalog tenant that answered (omitted by
+	// single-network servers predating the catalog, where it is implied).
+	Network string `json:"network,omitempty"`
 	Epoch   uint64 `json:"epoch"`
 	// Cache is the result-cache outcome: "bypass", "miss", "hit", or
 	// "coalesced".

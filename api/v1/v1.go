@@ -469,7 +469,7 @@ func NewErrorResponse(err error) *ErrorResponse {
 // HTTPStatus maps an error code to the status of its /v1 response.
 func HTTPStatus(code transit.ErrorCode) int {
 	switch code {
-	case transit.CodeUnreachable:
+	case transit.CodeUnreachable, transit.CodeUnknownNetwork:
 		return 404
 	case transit.CodeCancelled:
 		// Client went away; 499 in the nginx tradition (no stdlib constant).
@@ -485,6 +485,26 @@ func HTTPStatus(code transit.ErrorCode) int {
 	default:
 		return 400
 	}
+}
+
+// NetworkInfo describes one network of a multi-tenant catalog server, as
+// listed by GET /v1/networks.
+type NetworkInfo struct {
+	Name string `json:"name"`
+	// Default marks the network serving the un-prefixed legacy routes and
+	// the un-prefixed /v1 query endpoints.
+	Default bool `json:"default,omitempty"`
+	// Resident reports whether the network is currently loaded; Epoch and
+	// SnapshotBytes describe the loaded (or last-loaded) state. A cold
+	// network that was never loaded reports epoch 0 and zero bytes.
+	Resident      bool   `json:"resident"`
+	Epoch         uint64 `json:"epoch"`
+	SnapshotBytes int64  `json:"snapshot_bytes,omitempty"`
+}
+
+// NetworksResponse is the body of GET /v1/networks.
+type NetworksResponse struct {
+	Networks []NetworkInfo `json:"networks"`
 }
 
 // queryMS renders the query wall time in milliseconds.

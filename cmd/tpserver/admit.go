@@ -20,10 +20,12 @@ import (
 	"transit/internal/live"
 )
 
-// plan answers req against snap through cache and gate. The snapshot is
-// pinned by the caller (one Registry.Snapshot() load per request), and its
-// epoch keys the cache: a delay batch bumps the epoch and every cached
-// answer stops matching instantly.
+// plan answers req against snap — a snapshot of the named network —
+// through cache and gate. The snapshot is pinned by the caller (one
+// Registry.Snapshot() load per request, under a catalog handle), and
+// (network, epoch) keys the cache: a delay batch bumps that network's
+// epoch and every cached answer for it stops matching instantly, while
+// other tenants' entries are untouched.
 //
 // When tr is non-nil the request is traced: its Effort block rides on
 // Request.Options (cache-key-neutral — CacheKey ignores Options), the
@@ -32,7 +34,7 @@ import (
 // goroutine, so the closure may write tr without synchronization; for
 // coalesced requests the closure never runs and the whole wait on the
 // leader lands in the cache-lookup stage.
-func (s *server) plan(ctx context.Context, snap *live.Snapshot, req transit.Request, tr *qtrace) (*transit.Result, error) {
+func (s *server) plan(ctx context.Context, network string, snap *live.Snapshot, req transit.Request, tr *qtrace) (*transit.Result, error) {
 	planStart := time.Now()
 	if tr != nil {
 		tr.epoch = snap.Epoch
@@ -65,7 +67,7 @@ func (s *server) plan(ctx context.Context, snap *live.Snapshot, req transit.Requ
 		s.obs.searchDur.ObserveDuration(d)
 		return res, err
 	}
-	res, outcome, err := s.cache.Plan(ctx, snap.Epoch, req, do)
+	res, outcome, err := s.cache.Plan(ctx, network, snap.Epoch, req, do)
 	if tr != nil {
 		tr.outcome = outcome
 		lookup := time.Since(planStart) - tr.queueWait - tr.search

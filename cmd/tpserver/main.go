@@ -104,12 +104,18 @@ import (
 
 	"transit"
 	"transit/internal/admit"
+	"transit/internal/catalog"
 	"transit/internal/live"
 )
 
 type server struct {
-	reg     *live.Registry
-	threads int
+	// cat is the network catalog every query routes through: multi-tenant
+	// under -catalog, or a single always-resident tenant wrapping the
+	// legacy flags (catalog.NewStatic). defaultNet answers the un-prefixed
+	// routes.
+	cat        *catalog.Catalog
+	defaultNet string
+	threads    int
 
 	// gate bounds concurrent search work (-max-inflight / -queue-deadline);
 	// nil admits everything. cache is the epoch-keyed result cache
@@ -132,8 +138,11 @@ type server struct {
 
 	// Per-endpoint request counters (GET /metrics). The map is fully
 	// populated by newMux before the server starts; afterwards only the
-	// atomic values move, so concurrent reads need no lock.
-	hits map[string]*atomic.Uint64
+	// atomic values move, so concurrent reads need no lock. netHits counts
+	// requests per catalog tenant the same way (populated from the
+	// manifest at construction).
+	hits    map[string]*atomic.Uint64
+	netHits map[string]*atomic.Uint64
 
 	// obs owns the metric registry and every latency histogram; logger is
 	// the structured process log; slowQuery is the -slow-query threshold
@@ -148,11 +157,51 @@ type server struct {
 // operator does not configure -query-timeout.
 const defaultQueryTimeout = 10 * time.Second
 
+// defaultNetworkName is the tenant name the single-network flags serve
+// under (one-entry static catalog).
+const defaultNetworkName = "default"
+
+// newServer wraps one pre-built registry as a single-network server — the
+// legacy construction, now a one-entry static catalog.
 func newServer(reg *live.Registry, threads int) *server {
-	s := &server{reg: reg, threads: threads, queryTimeout: defaultQueryTimeout,
-		hits: make(map[string]*atomic.Uint64), logger: slog.Default()}
+	return newCatalogServer(catalog.NewStatic(defaultNetworkName, reg), threads)
+}
+
+func newCatalogServer(cat *catalog.Catalog, threads int) *server {
+	s := &server{cat: cat, defaultNet: cat.DefaultName(), threads: threads,
+		queryTimeout: defaultQueryTimeout,
+		hits:         make(map[string]*atomic.Uint64),
+		netHits:      make(map[string]*atomic.Uint64),
+		logger:       slog.Default()}
+	for _, name := range cat.Names() {
+		s.netHits[name] = &atomic.Uint64{}
+	}
 	s.obs = newServerObs(s)
 	return s
+}
+
+// defaultLive reads the default tenant's registry metrics: the legacy flat
+// /metrics series sample it, keeping their pre-catalog names and values.
+func (s *server) defaultLive() live.Metrics {
+	return s.cat.LiveMetrics(s.defaultNet)
+}
+
+// acquire pins the tenant a request addresses — the {network} path segment
+// when the route carries one, the default network otherwise — for the
+// duration of the request. The caller must Release the handle.
+func (s *server) acquire(r *http.Request) (*catalog.Handle, error) {
+	name := r.PathValue("network")
+	if name == "" {
+		name = s.defaultNet
+	}
+	h, err := s.cat.Acquire(r.Context(), name)
+	if err != nil {
+		return nil, err
+	}
+	if c, ok := s.netHits[name]; ok {
+		c.Add(1)
+	}
+	return h, nil
 }
 
 // count registers a request counter and latency histogram for the endpoint
@@ -177,6 +226,7 @@ func newMux(s *server) *http.ServeMux {
 	mux.HandleFunc("GET /profile", s.count("profile", deprecated("/v1/profile", s.profile)))
 	mux.HandleFunc("GET /journey", s.count("journey", deprecated("/v1/journey", s.journey)))
 	mux.HandleFunc("POST /delays", s.count("delays", s.delays))
+	mux.HandleFunc("POST /{network}/delays", s.count("network_delays", s.delays))
 	mux.HandleFunc("GET /version", s.count("version", s.version))
 	mux.HandleFunc("GET /metrics", s.metrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -212,6 +262,16 @@ func main() {
 	logFormat := flag.String("log-format", "text", "structured log output: text or json")
 	slowQuery := flag.Duration("slow-query", 250*time.Millisecond,
 		"log queries slower than this with their stage breakdown and search effort (0 = off)")
+	catalogDir := flag.String("catalog", "",
+		"serve a multi-network catalog directory (catalog.json manifest; docs/CATALOG.md) instead of a single network")
+	catalogMemBytes := flag.Int64("catalog-mem-bytes", 0,
+		"resident-set budget for catalog tenants in snapshot bytes; LRU tenants are evicted above it (0 = unlimited)")
+	catalogDefault := flag.String("catalog-default", "",
+		"network serving the un-prefixed routes (default: the manifest's default entry)")
+	catalogPersist := flag.Bool("catalog-persist", true,
+		"persist each tenant's delay epoch to <catalog-persist-dir>/<name>.live.snap")
+	catalogPersistDir := flag.String("catalog-persist-dir", "",
+		"directory for per-tenant persistence files (default: the catalog directory)")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat)
@@ -238,6 +298,59 @@ func main() {
 	}
 
 	start := time.Now()
+	policy, err := live.ParsePolicy(*repreprocess)
+	if err != nil {
+		fatal("bad -repreprocess", "err", err)
+	}
+	if *catalogDir != "" {
+		// Multi-tenant catalog mode: the single-network source flags are
+		// meaningless here and almost certainly a confused invocation.
+		if *netFile != "" || *gtfsDir != "" || *family != "" || *snapFile != "" || *persistPath != "" {
+			fatal("-catalog is exclusive with -net, -gtfs, -generate, -snapshot and -persist")
+		}
+		lcfg := live.Config{
+			Policy:    policy,
+			Selection: transit.TransferSelection{Fraction: *preprocess},
+			Options:   transit.Options{Threads: *threads},
+			Logf: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...))
+			},
+		}
+		if *preprocess <= 0 {
+			lcfg.Policy = live.ServeUnpruned
+		}
+		ccfg := catalog.Config{
+			MemBytes:        *catalogMemBytes,
+			Live:            lcfg,
+			PersistInterval: *persistInterval,
+			Default:         *catalogDefault,
+			Logf: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...))
+			},
+		}
+		if *catalogPersist {
+			ccfg.PersistDir = *catalogPersistDir
+			if ccfg.PersistDir == "" {
+				ccfg.PersistDir = *catalogDir
+			}
+		}
+		cat, err := catalog.Open(*catalogDir, ccfg)
+		if err != nil {
+			fatal("catalog open failed", "err", err)
+		}
+		s := newCatalogServer(cat, *threads)
+		logger.Info("catalog open", "dir", *catalogDir, "networks", len(cat.Names()),
+			"default", cat.DefaultName(), "mem_bytes", *catalogMemBytes,
+			"startup", time.Since(start).Round(time.Millisecond))
+		serve(s, logger, fatal, serveConfig{
+			queryTimeout: *queryTimeout, slowQuery: *slowQuery,
+			maxInflight: *maxInflight, queueDeadline: *queueDeadline,
+			cacheEntries: *cacheEntries, cacheBytes: *cacheBytes,
+			listen: *listen, shutdownTimeout: *shutdownTimeout,
+			policy: policy,
+		})
+		return
+	}
 	var n *transit.Network
 	state := transit.SnapshotState{}
 	switch {
@@ -278,10 +391,6 @@ func main() {
 	} else if n.Preprocessed() {
 		logger.Info("distance table loaded from snapshot (no preprocessing needed)")
 	}
-	policy, err := live.ParsePolicy(*repreprocess)
-	if err != nil {
-		fatal("bad -repreprocess", "err", err)
-	}
 	if *preprocess <= 0 {
 		// No valid transfer selection to rebuild with — even if a snapshot
 		// carried a table, the first delay batch invalidates it and the
@@ -301,18 +410,46 @@ func main() {
 		reg.StartPersist(*persistPath, *persistInterval)
 	}
 	s := newServer(reg, *threads)
-	s.queryTimeout = *queryTimeout
-	s.slowQuery = *slowQuery
-	if *maxInflight > 0 {
-		s.gate = admit.NewGate(int64(*maxInflight), *queueDeadline)
-	}
-	if *cacheEntries > 0 {
-		s.cache = admit.NewCache(*cacheEntries, *cacheBytes)
-	}
 	logger.Info("ready", "startup", time.Since(start).Round(time.Millisecond), "epoch", state.Epoch)
+	serve(s, logger, fatal, serveConfig{
+		queryTimeout: *queryTimeout, slowQuery: *slowQuery,
+		maxInflight: *maxInflight, queueDeadline: *queueDeadline,
+		cacheEntries: *cacheEntries, cacheBytes: *cacheBytes,
+		listen: *listen, shutdownTimeout: *shutdownTimeout,
+		policy: policy,
+	})
+}
+
+// serveConfig carries the serving-layer flags shared by the single-network
+// and catalog boot paths.
+type serveConfig struct {
+	queryTimeout    time.Duration
+	slowQuery       time.Duration
+	maxInflight     int
+	queueDeadline   time.Duration
+	cacheEntries    int
+	cacheBytes      int64
+	listen          string
+	shutdownTimeout time.Duration
+	policy          live.Policy
+}
+
+// serve wires the admission/cache layers onto s, runs the HTTP listener,
+// and shuts down gracefully on SIGINT/SIGTERM: the listener closes,
+// in-flight queries drain, and every resident tenant registry closes (one
+// final persist checkpoint each) before exit.
+func serve(s *server, logger *slog.Logger, fatal func(string, ...any), cfg serveConfig) {
+	s.queryTimeout = cfg.queryTimeout
+	s.slowQuery = cfg.slowQuery
+	if cfg.maxInflight > 0 {
+		s.gate = admit.NewGate(int64(cfg.maxInflight), cfg.queueDeadline)
+	}
+	if cfg.cacheEntries > 0 {
+		s.cache = admit.NewCache(cfg.cacheEntries, cfg.cacheBytes)
+	}
 
 	srv := &http.Server{
-		Addr:              *listen,
+		Addr:              cfg.listen,
 		Handler:           newMux(s),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
@@ -323,26 +460,28 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	logger.Info("listening", "addr", *listen, "repreprocess", policy.String())
+	logger.Info("listening", "addr", cfg.listen, "repreprocess", cfg.policy.String())
 	select {
 	case err := <-errc:
 		fatal("listener failed", "err", err)
 	case <-ctx.Done():
 		stop()
-		logger.Info("shutting down: draining in-flight queries", "budget", *shutdownTimeout)
-		sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		logger.Info("shutting down: draining in-flight queries", "budget", cfg.shutdownTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
 			logger.Warn("shutdown incomplete", "err", err)
 		}
 		// The listener is closed; wait out searches still holding admission
-		// slots, then refuse any straggler before the registry goes away.
+		// slots, then refuse any straggler before the registries go away.
 		if err := s.gate.Drain(sctx); err != nil {
 			logger.Warn("admission drain incomplete", "err", err)
 		}
 		s.gate.Close()
-		reg.Close() // wait for background re-preprocessing, release the last snapshot
-		logger.Info("bye", "final_epoch", reg.Snapshot().Epoch)
+		// Close every resident tenant: waits for background re-preprocessing
+		// and writes each tenant's final persist checkpoint.
+		s.cat.Close()
+		logger.Info("bye", "final_epoch", s.defaultLive().Epoch)
 	}
 }
 
@@ -391,7 +530,13 @@ type stationJSON struct {
 }
 
 func (s *server) stations(w http.ResponseWriter, r *http.Request) {
-	n := s.reg.Snapshot().Net
+	h, err := s.acquire(r)
+	if err != nil {
+		s.legacyError(w, err)
+		return
+	}
+	defer h.Release()
+	n := h.Registry().Snapshot().Net
 	out := make([]stationJSON, n.NumStations())
 	for i := range out {
 		st := n.Station(transit.StationID(i))
@@ -415,7 +560,14 @@ func (s *server) arrival(w http.ResponseWriter, r *http.Request) {
 		s.legacyError(w, err) // already hung up: no admission slot, no cache fill
 		return
 	}
-	snap := s.reg.Snapshot() // one load: the whole request sees this version
+	h, err := s.acquire(r)
+	if err != nil {
+		s.legacyError(w, err)
+		return
+	}
+	defer h.Release()
+	tr.network = h.Name()
+	snap := h.Registry().Snapshot() // one load: the whole request sees this version
 	n := snap.Net
 	from, to, err := parsePair(n, r)
 	if err != nil {
@@ -429,7 +581,7 @@ func (s *server) arrival(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
-	res, err := s.plan(ctx, snap, transit.Request{
+	res, err := s.plan(ctx, h.Name(), snap, transit.Request{
 		Kind: transit.KindEarliestArrival, From: from, To: to, Depart: dep,
 		Options: transit.Options{Threads: s.threads},
 	}, tr)
@@ -462,7 +614,14 @@ func (s *server) profile(w http.ResponseWriter, r *http.Request) {
 		s.legacyError(w, err)
 		return
 	}
-	snap := s.reg.Snapshot()
+	h, err := s.acquire(r)
+	if err != nil {
+		s.legacyError(w, err)
+		return
+	}
+	defer h.Release()
+	tr.network = h.Name()
+	snap := h.Registry().Snapshot()
 	n := snap.Net
 	from, to, err := parsePair(n, r)
 	if err != nil {
@@ -471,7 +630,7 @@ func (s *server) profile(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
-	res, err := s.plan(ctx, snap, transit.Request{
+	res, err := s.plan(ctx, h.Name(), snap, transit.Request{
 		Kind: transit.KindProfile, From: from, To: to,
 		Options: transit.Options{Threads: s.threads},
 	}, tr)
@@ -516,7 +675,14 @@ func (s *server) journey(w http.ResponseWriter, r *http.Request) {
 		s.legacyError(w, err)
 		return
 	}
-	snap := s.reg.Snapshot()
+	h, err := s.acquire(r)
+	if err != nil {
+		s.legacyError(w, err)
+		return
+	}
+	defer h.Release()
+	tr.network = h.Name()
+	snap := h.Registry().Snapshot()
 	n := snap.Net
 	from, to, err := parsePair(n, r)
 	if err != nil {
@@ -530,7 +696,7 @@ func (s *server) journey(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
-	res, err := s.plan(ctx, snap, transit.Request{
+	res, err := s.plan(ctx, h.Name(), snap, transit.Request{
 		Kind: transit.KindJourney, From: from, To: to, Depart: dep,
 		Options: transit.Options{Threads: s.threads},
 	}, tr)
@@ -580,6 +746,12 @@ type delayOpJSON struct {
 }
 
 func (s *server) delays(w http.ResponseWriter, r *http.Request) {
+	h, err := s.acquire(r)
+	if err != nil {
+		s.legacyError(w, err)
+		return
+	}
+	defer h.Release()
 	var req struct {
 		Ops []delayOpJSON `json:"ops"`
 	}
@@ -615,7 +787,7 @@ func (s *server) delays(w http.ResponseWriter, r *http.Request) {
 		}
 		ops[i] = op
 	}
-	snap, st, err := s.reg.Apply(ops)
+	snap, st, err := h.Registry().Apply(ops)
 	switch {
 	case err == nil:
 	case errors.Is(err, live.ErrClosed):
@@ -631,6 +803,7 @@ func (s *server) delays(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, map[string]any{
+		"network":          h.Name(),
 		"epoch":            snap.Epoch,
 		"trains_delayed":   st.TrainsDelayed,
 		"trains_cancelled": st.TrainsCancelled,
@@ -642,9 +815,16 @@ func (s *server) delays(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) version(w http.ResponseWriter, r *http.Request) {
-	snap := s.reg.Snapshot()
+	h, err := s.acquire(r)
+	if err != nil {
+		s.legacyError(w, err)
+		return
+	}
+	defer h.Release()
+	snap := h.Registry().Snapshot()
 	st := snap.Net.Timetable().Stats()
 	writeJSON(w, map[string]any{
+		"network":      h.Name(),
 		"epoch":        snap.Epoch,
 		"created":      snap.Created.UTC().Format(time.RFC3339Nano),
 		"preprocessed": snap.Preprocessed(),

@@ -92,8 +92,9 @@ func TestStationsEndpoint(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
 		t.Fatal(err)
 	}
-	if len(out) != s.reg.Snapshot().Net.NumStations() {
-		t.Fatalf("stations = %d, want %d", len(out), s.reg.Snapshot().Net.NumStations())
+	want := s.cat.Resident(s.defaultNet).Snapshot().Net.NumStations()
+	if len(out) != want {
+		t.Fatalf("stations = %d, want %d", len(out), want)
 	}
 	if out[0].ID != 0 || out[0].Name == "" {
 		t.Fatalf("station 0 malformed: %+v", out[0])

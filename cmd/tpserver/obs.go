@@ -19,6 +19,7 @@ import (
 	"transit"
 	apiv1 "transit/api/v1"
 	"transit/internal/admit"
+	"transit/internal/catalog"
 	"transit/internal/core"
 	"transit/internal/obs"
 )
@@ -71,44 +72,44 @@ func newServerObs(s *server) *serverObs {
 	// rendering so existing dashboards, CI greps and the bench scraper stay
 	// valid across the /metrics rewrite.
 	r.Gauge("tpserver_snapshot_epoch", "Epoch of the snapshot currently served.",
-		func() float64 { return float64(s.reg.Metrics().Epoch) })
+		func() float64 { return float64(s.defaultLive().Epoch) })
 	r.Gauge("tpserver_snapshot_preprocessed", "Whether the served snapshot has a distance table (0/1).",
-		func() float64 { return float64(b2i(s.reg.Metrics().Preprocessed)) })
+		func() float64 { return float64(b2i(s.defaultLive().Preprocessed)) })
 	r.Counter("tpserver_updates_total", "Applied delay batches.",
-		func() float64 { return float64(s.reg.Metrics().UpdatesTotal) })
+		func() float64 { return float64(s.defaultLive().UpdatesTotal) })
 	r.Gauge("tpserver_update_last_seconds", "Duration of the last delay batch apply.",
-		func() float64 { return s.reg.Metrics().LastUpdate.Seconds() })
+		func() float64 { return s.defaultLive().LastUpdate.Seconds() })
 	r.Counter("tpserver_connections_retimed_total", "Connections retimed by delay batches.",
-		func() float64 { return float64(s.reg.Metrics().ConnsRetimed) })
+		func() float64 { return float64(s.defaultLive().ConnsRetimed) })
 	r.Counter("tpserver_connections_cancelled_total", "Connections cancelled by delay batches.",
-		func() float64 { return float64(s.reg.Metrics().ConnsCancelled) })
+		func() float64 { return float64(s.defaultLive().ConnsCancelled) })
 	r.Counter("tpserver_repreprocess_total", "Completed distance-table re-preprocessing runs.",
-		func() float64 { return float64(s.reg.Metrics().ReprocessedTotal) })
+		func() float64 { return float64(s.defaultLive().ReprocessedTotal) })
 	r.Counter("tpserver_repreprocess_errors_total", "Failed re-preprocessing runs.",
-		func() float64 { return float64(s.reg.Metrics().ReprocessErrors) })
+		func() float64 { return float64(s.defaultLive().ReprocessErrors) })
 	r.Counter("dtable_repairs_total", "Re-preprocessing runs answered by incremental row repair.",
-		func() float64 { return float64(s.reg.Metrics().RepairsTotal) })
+		func() float64 { return float64(s.defaultLive().RepairsTotal) })
 	r.Counter("dtable_rows_repaired_total", "Distance-table rows recomputed by repairs.",
-		func() float64 { return float64(s.reg.Metrics().RowsRepairedTotal) })
+		func() float64 { return float64(s.defaultLive().RowsRepairedTotal) })
 	r.Counter("dtable_full_rebuilds_total", "Re-preprocessing runs that fell back to a full rebuild.",
-		func() float64 { return float64(s.reg.Metrics().FullRebuildsTotal) })
+		func() float64 { return float64(s.defaultLive().FullRebuildsTotal) })
 	r.Gauge("dtable_repreprocess_last_seconds", "Duration of the last repair or rebuild.",
-		func() float64 { return s.reg.Metrics().LastReprocess.Seconds() })
+		func() float64 { return s.defaultLive().LastReprocess.Seconds() })
 	r.Counter("dtable_repair_seconds_total", "Cumulative wall-clock time spent in repairs and rebuilds.",
-		func() float64 { return s.reg.Metrics().RepairDuration.Seconds() })
+		func() float64 { return s.defaultLive().RepairDuration.Seconds() })
 	r.Gauge("tpserver_last_epoch_apply_timestamp_seconds",
 		"Unix time of the last epoch-advancing delay batch (0 before the first).",
 		func() float64 {
-			t := s.reg.Metrics().LastApply
+			t := s.defaultLive().LastApply
 			if t.IsZero() {
 				return 0
 			}
 			return float64(t.UnixNano()) / 1e9
 		})
 	r.Counter("tpserver_persist_total", "Epoch checkpoints written to the -persist file.",
-		func() float64 { return float64(s.reg.Metrics().PersistsTotal) })
+		func() float64 { return float64(s.defaultLive().PersistsTotal) })
 	r.Counter("tpserver_persist_errors_total", "Failed persistence checkpoints.",
-		func() float64 { return float64(s.reg.Metrics().PersistErrors) })
+		func() float64 { return float64(s.defaultLive().PersistErrors) })
 	r.Counter("tpserver_queries_cancelled_total", "Queries abandoned mid-flight (client disconnect or deadline).",
 		func() float64 { return float64(s.cancelled.Load()) })
 	r.Gauge("tpserver_inflight", "Admitted search weight currently running.",
@@ -133,6 +134,49 @@ func newServerObs(s *server) *serverObs {
 		func() float64 { gets, _ := core.PoolStats(); return float64(gets) })
 	r.Counter("tpserver_workspace_pool_puts_total", "Search workspaces returned to the pool.",
 		func() float64 { _, puts := core.PoolStats(); return float64(puts) })
+
+	// Catalog-wide lifecycle counters, plus one network="…" labelled series
+	// per manifest tenant. Tenants are known at construction, so every
+	// series registers exactly once; the sample closures read the catalog's
+	// bookkeeping (last-known values for evicted tenants) and never force a
+	// load.
+	r.Gauge("tpserver_catalog_networks", "Networks in the serving catalog.",
+		func() float64 { return float64(s.cat.Metrics().Networks) })
+	r.Gauge("tpserver_catalog_resident", "Catalog networks currently loaded.",
+		func() float64 { return float64(s.cat.Metrics().Resident) })
+	r.Gauge("tpserver_catalog_resident_bytes", "Summed snapshot bytes of the resident networks.",
+		func() float64 { return float64(s.cat.Metrics().ResidentBytes) })
+	r.Counter("tpserver_catalog_loads_total", "Tenant snapshot loads (cold and reload).",
+		func() float64 { return float64(s.cat.Metrics().Loads) })
+	r.Counter("tpserver_catalog_evictions_total", "Tenants evicted under the memory budget.",
+		func() float64 { return float64(s.cat.Metrics().Evictions) })
+	r.Counter("tpserver_catalog_load_errors_total", "Failed tenant loads.",
+		func() float64 { return float64(s.cat.Metrics().LoadErrors) })
+	r.Counter("tpserver_catalog_load_seconds_total", "Cumulative wall-clock time spent loading tenants.",
+		func() float64 { return s.cat.Metrics().LoadDuration.Seconds() })
+	for _, name := range s.cat.Names() {
+		name := name
+		net := func() catalog.NetworkMetrics { m, _ := s.cat.NetworkMetrics(name); return m }
+		r.LabeledGauge("tpserver_network_epoch", "Delay epoch per catalog network (frozen while evicted).",
+			"network", name, func() float64 { return float64(net().Live.Epoch) })
+		r.LabeledGauge("tpserver_network_resident", "Whether the network is currently loaded (0/1).",
+			"network", name, func() float64 { return float64(b2i(net().Resident)) })
+		r.LabeledGauge("tpserver_network_snapshot_bytes", "Snapshot bytes charged against the memory budget while resident.",
+			"network", name, func() float64 { return float64(net().SizeBytes) })
+		r.LabeledCounter("tpserver_network_updates_total", "Applied delay batches per network.",
+			"network", name, func() float64 { return float64(net().Live.UpdatesTotal) })
+		r.LabeledCounter("tpserver_network_loads_total", "Snapshot loads per network.",
+			"network", name, func() float64 { return float64(net().Loads) })
+		r.LabeledCounter("tpserver_network_evictions_total", "Evictions per network.",
+			"network", name, func() float64 { return float64(net().Evictions) })
+		r.LabeledCounter("tpserver_network_requests_total", "HTTP requests answered per network.",
+			"network", name, func() float64 {
+				if c, ok := s.netHits[name]; ok {
+					return float64(c.Load())
+				}
+				return 0
+			})
+	}
 
 	// Go runtime series. One ReadMemStats per scrape (cached across the
 	// gauges of a single scrape by runtimeSampler).
@@ -185,10 +229,11 @@ func (rs *runtimeSampler) get() runtime.MemStats {
 // synchronization; the Effort block itself is atomic because a matrix or
 // parallel search fans out under it.
 type qtrace struct {
-	id    string
-	kind  transit.Kind
-	epoch uint64
-	start time.Time
+	id      string
+	kind    transit.Kind
+	network string
+	epoch   uint64
+	start   time.Time
 
 	queueWait   time.Duration
 	search      time.Duration
@@ -260,6 +305,7 @@ func (t *qtrace) serverTiming() string {
 func (t *qtrace) wire() *apiv1.Trace {
 	tr := &apiv1.Trace{
 		TraceID:       t.id,
+		Network:       t.network,
 		Epoch:         t.epoch,
 		Cache:         t.outcome.String(),
 		QueueWaitMS:   float64(t.queueWait.Microseconds()) / 1000,
@@ -289,6 +335,7 @@ func (s *server) finishQuery(t *qtrace, outcome string) {
 	s.logger.Warn("slow query",
 		"trace_id", t.id,
 		"kind", string(t.kind),
+		"network", t.network,
 		"epoch", t.epoch,
 		"cache", t.outcome.String(),
 		"outcome", outcome,

@@ -143,7 +143,14 @@ func (s *server) v1Query(kind transit.Kind) http.HandlerFunc {
 			s.v1TraceError(w, tr, err)
 			return
 		}
-		snap := s.reg.Snapshot() // one load: the whole request sees this version
+		h, err := s.acquire(r)
+		if err != nil {
+			s.v1TraceError(w, tr, err)
+			return
+		}
+		defer h.Release()
+		tr.network = h.Name()
+		snap := h.Registry().Snapshot() // one load: the whole request sees this version
 		n := snap.Net
 		preq, err := decodePlanRequest(w, r)
 		if err != nil {
@@ -165,7 +172,7 @@ func (s *server) v1Query(kind transit.Kind) http.HandlerFunc {
 		}
 		ctx, cancel := s.queryContext(r)
 		defer cancel()
-		res, err := s.plan(ctx, snap, req, tr)
+		res, err := s.plan(ctx, h.Name(), snap, req, tr)
 		if err != nil {
 			s.v1TraceError(w, tr, err)
 			return
@@ -217,10 +224,40 @@ func (s *server) v1Query(kind transit.Kind) http.HandlerFunc {
 
 // v1Stations serves the station list.
 func (s *server) v1Stations(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, apiv1.NewStationsResponse(s.reg.Snapshot().Net))
+	h, err := s.acquire(r)
+	if err != nil {
+		s.v1Error(w, err)
+		return
+	}
+	defer h.Release()
+	writeJSON(w, apiv1.NewStationsResponse(h.Registry().Snapshot().Net))
 }
 
-// registerV1 wires the /v1 routes into the mux.
+// v1Networks lists the catalog: every tenant the server can answer for,
+// with residency, epoch and size. Cold tenants are reported without being
+// loaded.
+func (s *server) v1Networks(w http.ResponseWriter, r *http.Request) {
+	resp := &apiv1.NetworksResponse{}
+	for _, name := range s.cat.Names() {
+		m, ok := s.cat.NetworkMetrics(name)
+		if !ok {
+			continue
+		}
+		resp.Networks = append(resp.Networks, apiv1.NetworkInfo{
+			Name:          name,
+			Default:       name == s.defaultNet,
+			Resident:      m.Resident,
+			Epoch:         m.Live.Epoch,
+			SnapshotBytes: m.SizeBytes,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// registerV1 wires the /v1 routes into the mux. Every query route exists
+// twice: un-prefixed (answered by the default network, as before the
+// catalog) and under /v1/{network}/ addressing a tenant by name. The two
+// pattern sets are disjoint by segment count, so the mux never conflicts.
 func registerV1(mux *http.ServeMux, s *server) {
 	mux.HandleFunc("/v1/arrival", s.count("v1_arrival", s.v1Query(transit.KindEarliestArrival)))
 	mux.HandleFunc("/v1/profile", s.count("v1_profile", s.v1Query(transit.KindProfile)))
@@ -228,6 +265,13 @@ func registerV1(mux *http.ServeMux, s *server) {
 	mux.HandleFunc("/v1/pareto", s.count("v1_pareto", s.v1Query(transit.KindPareto)))
 	mux.HandleFunc("POST /v1/matrix", s.count("v1_matrix", s.v1Query(transit.KindMatrix)))
 	mux.HandleFunc("GET /v1/stations", s.count("v1_stations", s.v1Stations))
+	mux.HandleFunc("GET /v1/networks", s.count("v1_networks", s.v1Networks))
+	mux.HandleFunc("/v1/{network}/arrival", s.count("v1_network_arrival", s.v1Query(transit.KindEarliestArrival)))
+	mux.HandleFunc("/v1/{network}/profile", s.count("v1_network_profile", s.v1Query(transit.KindProfile)))
+	mux.HandleFunc("/v1/{network}/journey", s.count("v1_network_journey", s.v1Query(transit.KindJourney)))
+	mux.HandleFunc("/v1/{network}/pareto", s.count("v1_network_pareto", s.v1Query(transit.KindPareto)))
+	mux.HandleFunc("POST /v1/{network}/matrix", s.count("v1_network_matrix", s.v1Query(transit.KindMatrix)))
+	mux.HandleFunc("GET /v1/{network}/stations", s.count("v1_network_stations", s.v1Stations))
 }
 
 // deprecated marks a legacy endpoint's response with its /v1 successor, per

@@ -48,6 +48,10 @@ const (
 	// cheaply — clients should back off for the Retry-After hint of the
 	// HTTP response and then retry the identical request.
 	CodeOverloaded ErrorCode = "overloaded"
+	// CodeUnknownNetwork marks a query addressed to a network name the
+	// serving catalog does not carry (produced by the multi-tenant server,
+	// which routes /v1/{network}/... by name).
+	CodeUnknownNetwork ErrorCode = "unknown_network"
 	// CodeInternal marks everything else.
 	CodeInternal ErrorCode = "internal"
 )

@@ -42,8 +42,9 @@ func (o Outcome) String() string {
 }
 
 type ckey struct {
-	epoch uint64
-	key   string
+	network string
+	epoch   uint64
+	key     string
 }
 
 type entry struct {
@@ -60,12 +61,15 @@ type call struct {
 }
 
 // Cache is an epoch-keyed in-process result cache with singleflight
-// coalescing. Entries are keyed on (live delay epoch, canonical Request
-// serialization): when the live registry applies a delay batch or swaps a
-// snapshot it bumps the epoch, and every cached answer is invalidated for
-// free — the new epoch's keys can never match, and stale entries are
-// pruned on the first access that observes the new epoch. Memory is
-// bounded twice: by entry count and by the sum of approximate result bytes
+// coalescing. Entries are keyed on (network name, live delay epoch,
+// canonical Request serialization): when a network's live registry applies
+// a delay batch or swaps a snapshot it bumps that network's epoch, and
+// every cached answer for that network is invalidated for free — the new
+// epoch's keys can never match, and stale entries are pruned on the first
+// access that observes the new epoch. Epochs are tracked per network, so
+// one tenant's delay feed never touches another tenant's entries (a
+// single-network server just passes one constant name). Memory is bounded
+// twice: by entry count and by the sum of approximate result bytes
 // (transit.Result.ApproxBytes), evicting least-recently-used first.
 //
 // Concurrent identical requests coalesce: one fill runs, the rest wait and
@@ -77,12 +81,12 @@ type Cache struct {
 	maxEntries int
 	maxBytes   int64
 
-	mu    sync.Mutex
-	lru   list.List // of *entry, front = most recent
-	items map[ckey]*list.Element
-	calls map[ckey]*call
-	bytes int64
-	epoch uint64 // highest epoch observed; older entries are stale
+	mu     sync.Mutex
+	lru    list.List // of *entry, front = most recent
+	items  map[ckey]*list.Element
+	calls  map[ckey]*call
+	bytes  int64
+	epochs map[string]uint64 // per-network highest epoch observed; older entries are stale
 
 	hits      atomic.Uint64
 	misses    atomic.Uint64
@@ -101,22 +105,23 @@ func NewCache(maxEntries int, maxBytes int64) *Cache {
 		maxBytes:   maxBytes,
 		items:      make(map[ckey]*list.Element),
 		calls:      make(map[ckey]*call),
+		epochs:     make(map[string]uint64),
 	}
 }
 
-// Plan answers req at the given epoch through the cache: a stored entry is
-// returned as-is, an in-flight identical fill is joined, and otherwise
-// this call fills by running do. Errors are never cached; a fill that
-// failed because *its* caller was cancelled (not ours) is retried by the
-// waiters whose contexts are still live, so one impatient client cannot
-// poison the answer for the rest. A nil cache (or a request with no
-// canonical key) bypasses straight to do.
+// Plan answers req for the named network at the given epoch through the
+// cache: a stored entry is returned as-is, an in-flight identical fill is
+// joined, and otherwise this call fills by running do. Errors are never
+// cached; a fill that failed because *its* caller was cancelled (not ours)
+// is retried by the waiters whose contexts are still live, so one
+// impatient client cannot poison the answer for the rest. A nil cache (or
+// a request with no canonical key) bypasses straight to do.
 //
 // Request.Reuse interaction: the fill runs with Reuse stripped, so the
 // cached shell is detached heap memory; when the caller passed a Reuse
 // shell, the cached value is copied into it and the shell returned, same
 // as Plan's own contract.
-func (c *Cache) Plan(ctx context.Context, epoch uint64, req transit.Request, do PlanFunc) (*transit.Result, Outcome, error) {
+func (c *Cache) Plan(ctx context.Context, network string, epoch uint64, req transit.Request, do PlanFunc) (*transit.Result, Outcome, error) {
 	if c == nil {
 		res, err := do(ctx, req)
 		return res, Bypass, err
@@ -128,10 +133,10 @@ func (c *Cache) Plan(ctx context.Context, epoch uint64, req transit.Request, do 
 	}
 	reuse := req.Reuse
 	req.Reuse = nil
-	k := ckey{epoch: epoch, key: key}
+	k := ckey{network: network, epoch: epoch, key: key}
 	for {
 		c.mu.Lock()
-		c.pruneStaleLocked(epoch)
+		c.pruneStaleLocked(network, epoch)
 		if e, ok := c.items[k]; ok {
 			c.lru.MoveToFront(e)
 			val := e.Value.(*entry).val
@@ -202,18 +207,20 @@ func deliver(val, reuse *transit.Result) *transit.Result {
 	return val
 }
 
-// pruneStaleLocked drops every entry of an older epoch the first time a
-// newer one is observed. Epochs are monotone (live.Registry bumps them on
-// every applied batch), so one linear sweep per bump reclaims all dead
-// entries at once instead of letting them squat in the LRU.
-func (c *Cache) pruneStaleLocked(epoch uint64) {
-	if epoch <= c.epoch {
+// pruneStaleLocked drops every entry of the network with an older epoch
+// the first time a newer one is observed. Epochs are monotone per network
+// (each network's live.Registry bumps them on every applied batch), so one
+// linear sweep per bump reclaims all of that network's dead entries at
+// once instead of letting them squat in the LRU. Entries of other networks
+// are untouched — tenant isolation at the cache layer.
+func (c *Cache) pruneStaleLocked(network string, epoch uint64) {
+	if epoch <= c.epochs[network] {
 		return
 	}
-	c.epoch = epoch
+	c.epochs[network] = epoch
 	for e := c.lru.Front(); e != nil; {
 		next := e.Next()
-		if ent := e.Value.(*entry); ent.k.epoch < epoch {
+		if ent := e.Value.(*entry); ent.k.network == network && ent.k.epoch < epoch {
 			c.removeLocked(e)
 		}
 		e = next
@@ -221,16 +228,16 @@ func (c *Cache) pruneStaleLocked(epoch uint64) {
 }
 
 // addLocked inserts a filled entry and evicts LRU until bounds hold.
-// Fills keyed to an epoch older than the newest observed are already stale
-// and are not stored.
+// Fills keyed to an epoch older than the newest its network observed are
+// already stale and are not stored.
 func (c *Cache) addLocked(k ckey, val *transit.Result) {
-	if k.epoch < c.epoch {
+	if k.epoch < c.epochs[k.network] {
 		return
 	}
 	if _, ok := c.items[k]; ok {
 		return // a concurrent fill of the same key won the race
 	}
-	ent := &entry{k: k, val: val, size: int64(val.ApproxBytes() + len(k.key))}
+	ent := &entry{k: k, val: val, size: int64(val.ApproxBytes() + len(k.key) + len(k.network))}
 	c.items[k] = c.lru.PushFront(ent)
 	c.bytes += ent.size
 	for c.lru.Len() > 0 &&

@@ -29,11 +29,11 @@ func TestCacheMissThenHit(t *testing.T) {
 	calls := 0
 	do := countingPlan(&calls)
 
-	res1, out, err := c.Plan(context.Background(), 1, profileReq(0, 1), do)
+	res1, out, err := c.Plan(context.Background(), "n", 1, profileReq(0, 1), do)
 	if err != nil || out != Miss {
 		t.Fatalf("first call: outcome %v err %v, want miss/nil", out, err)
 	}
-	res2, out, err := c.Plan(context.Background(), 1, profileReq(0, 1), do)
+	res2, out, err := c.Plan(context.Background(), "n", 1, profileReq(0, 1), do)
 	if err != nil || out != Hit {
 		t.Fatalf("second call: outcome %v err %v, want hit/nil", out, err)
 	}
@@ -44,7 +44,7 @@ func TestCacheMissThenHit(t *testing.T) {
 		t.Fatalf("do ran %d times, want 1", calls)
 	}
 	// A different request misses.
-	if _, out, _ := c.Plan(context.Background(), 1, profileReq(0, 2), do); out != Miss {
+	if _, out, _ := c.Plan(context.Background(), "n", 1, profileReq(0, 2), do); out != Miss {
 		t.Fatalf("distinct request: outcome %v, want miss", out)
 	}
 	st := c.Stats()
@@ -62,14 +62,14 @@ func TestCacheEpochBumpInvalidates(t *testing.T) {
 	do := countingPlan(&calls)
 	req := profileReq(0, 1)
 
-	c.Plan(context.Background(), 1, req, do)
-	c.Plan(context.Background(), 1, req, do) // hit
+	c.Plan(context.Background(), "n", 1, req, do)
+	c.Plan(context.Background(), "n", 1, req, do) // hit
 	if calls != 1 {
 		t.Fatalf("calls = %d, want 1 before bump", calls)
 	}
 	// Epoch bump: the same request must recompute, and the stale entry is
 	// swept on first contact with the new epoch.
-	if _, out, _ := c.Plan(context.Background(), 2, req, do); out != Miss {
+	if _, out, _ := c.Plan(context.Background(), "n", 2, req, do); out != Miss {
 		t.Fatalf("post-bump outcome %v, want miss", out)
 	}
 	if calls != 2 {
@@ -82,7 +82,7 @@ func TestCacheEpochBumpInvalidates(t *testing.T) {
 	// data (epochs are monotone in production; a laggard reader computing
 	// against an old snapshot simply doesn't cache).
 	before := c.Stats().Entries
-	if _, out, _ := c.Plan(context.Background(), 1, profileReq(0, 9), do); out != Miss {
+	if _, out, _ := c.Plan(context.Background(), "n", 1, profileReq(0, 9), do); out != Miss {
 		t.Fatal("old-epoch request should miss")
 	}
 	if st := c.Stats(); st.Entries != before {
@@ -108,7 +108,7 @@ func TestCacheSingleflightCoalesces(t *testing.T) {
 	wg.Add(1)
 	go func() { // leader
 		defer wg.Done()
-		results[0], outs[0], _ = c.Plan(context.Background(), 1, req, do)
+		results[0], outs[0], _ = c.Plan(context.Background(), "n", 1, req, do)
 	}()
 	// Wait until the leader is inside do (registered its call), then pile on.
 	waitFor(t, func() bool {
@@ -120,7 +120,7 @@ func TestCacheSingleflightCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], outs[i], _ = c.Plan(context.Background(), 1, req, do)
+			results[i], outs[i], _ = c.Plan(context.Background(), "n", 1, req, do)
 		}(i)
 	}
 	waitFor(t, func() bool { return c.Stats().Waiting == followers })
@@ -158,26 +158,26 @@ func TestCacheEntryEviction(t *testing.T) {
 	calls := 0
 	do := countingPlan(&calls)
 	for i := 0; i < 5; i++ {
-		c.Plan(context.Background(), 1, profileReq(0, transit.StationID(i)), do)
+		c.Plan(context.Background(), "n", 1, profileReq(0, transit.StationID(i)), do)
 	}
 	if st := c.Stats(); st.Entries != 3 {
 		t.Fatalf("Entries = %d, want capped at 3", st.Entries)
 	}
 	// Oldest (To=0, To=1) were evicted; newest three still hit.
 	for i := 2; i < 5; i++ {
-		if _, out, _ := c.Plan(context.Background(), 1, profileReq(0, transit.StationID(i)), do); out != Hit {
+		if _, out, _ := c.Plan(context.Background(), "n", 1, profileReq(0, transit.StationID(i)), do); out != Hit {
 			t.Fatalf("entry %d: outcome %v, want hit", i, out)
 		}
 	}
-	if _, out, _ := c.Plan(context.Background(), 1, profileReq(0, 0), do); out != Miss {
+	if _, out, _ := c.Plan(context.Background(), "n", 1, profileReq(0, 0), do); out != Miss {
 		t.Fatal("evicted entry still hit")
 	}
 	// Touching an entry protects it: hit To=2 then add two more — To=2
 	// must survive, the untouched ones go.
-	c.Plan(context.Background(), 1, profileReq(0, 2), do)
-	c.Plan(context.Background(), 1, profileReq(0, 10), do)
-	c.Plan(context.Background(), 1, profileReq(0, 11), do)
-	if _, out, _ := c.Plan(context.Background(), 1, profileReq(0, 2), do); out != Hit {
+	c.Plan(context.Background(), "n", 1, profileReq(0, 2), do)
+	c.Plan(context.Background(), "n", 1, profileReq(0, 10), do)
+	c.Plan(context.Background(), "n", 1, profileReq(0, 11), do)
+	if _, out, _ := c.Plan(context.Background(), "n", 1, profileReq(0, 2), do); out != Hit {
 		t.Fatal("recently used entry was evicted before older ones")
 	}
 }
@@ -189,7 +189,7 @@ func TestCacheByteBoundEviction(t *testing.T) {
 	calls := 0
 	do := countingPlan(&calls)
 	for i := 0; i < 4; i++ {
-		c.Plan(context.Background(), 1, profileReq(0, transit.StationID(i)), do)
+		c.Plan(context.Background(), "n", 1, profileReq(0, transit.StationID(i)), do)
 	}
 	st := c.Stats()
 	if st.Entries >= 4 {
@@ -214,7 +214,7 @@ func TestCacheReuseShellDelivery(t *testing.T) {
 	shell := &transit.Result{}
 	req := profileReq(5, 6)
 	req.Reuse = shell
-	res, out, err := c.Plan(context.Background(), 1, req, do)
+	res, out, err := c.Plan(context.Background(), "n", 1, req, do)
 	if err != nil || out != Miss {
 		t.Fatalf("outcome %v err %v", out, err)
 	}
@@ -226,7 +226,7 @@ func TestCacheReuseShellDelivery(t *testing.T) {
 	}
 	// Corrupting the caller's shell must not corrupt the cached value.
 	*shell = transit.Result{}
-	res2, out, _ := c.Plan(context.Background(), 1, profileReq(5, 6), do)
+	res2, out, _ := c.Plan(context.Background(), "n", 1, profileReq(5, 6), do)
 	if out != Hit {
 		t.Fatalf("outcome %v, want hit", out)
 	}
@@ -247,13 +247,13 @@ func TestCacheErrorsNotCached(t *testing.T) {
 		return &transit.Result{}, nil
 	}
 	req := profileReq(0, 1)
-	if _, _, err := c.Plan(context.Background(), 1, req, do); !errors.Is(err, boom) {
+	if _, _, err := c.Plan(context.Background(), "n", 1, req, do); !errors.Is(err, boom) {
 		t.Fatalf("first call err = %v, want boom", err)
 	}
 	if st := c.Stats(); st.Entries != 0 {
 		t.Fatal("error was cached")
 	}
-	if _, out, err := c.Plan(context.Background(), 1, req, do); err != nil || out != Miss {
+	if _, out, err := c.Plan(context.Background(), "n", 1, req, do); err != nil || out != Miss {
 		t.Fatalf("retry after error: outcome %v err %v", out, err)
 	}
 	if calls != 2 {
@@ -282,7 +282,7 @@ func TestCacheCancelledFillRetriedByLiveWaiter(t *testing.T) {
 
 	leaderErr := make(chan error, 1)
 	go func() {
-		_, _, err := c.Plan(context.Background(), 1, req, do)
+		_, _, err := c.Plan(context.Background(), "n", 1, req, do)
 		leaderErr <- err
 	}()
 	waitFor(t, func() bool {
@@ -292,7 +292,7 @@ func TestCacheCancelledFillRetriedByLiveWaiter(t *testing.T) {
 	})
 	waiterDone := make(chan error, 1)
 	go func() {
-		_, _, err := c.Plan(context.Background(), 1, req, do)
+		_, _, err := c.Plan(context.Background(), "n", 1, req, do)
 		waiterDone <- err
 	}()
 	waitFor(t, func() bool { return c.Stats().Waiting == 1 })
@@ -321,7 +321,7 @@ func TestCacheWaiterOwnContextCancelled(t *testing.T) {
 		return &transit.Result{}, nil
 	}
 	req := profileReq(1, 2)
-	go c.Plan(context.Background(), 1, req, do)
+	go c.Plan(context.Background(), "n", 1, req, do)
 	waitFor(t, func() bool {
 		c.mu.Lock()
 		defer c.mu.Unlock()
@@ -330,7 +330,7 @@ func TestCacheWaiterOwnContextCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	waiterDone := make(chan error, 1)
 	go func() {
-		_, _, err := c.Plan(ctx, 1, req, do)
+		_, _, err := c.Plan(ctx, "n", 1, req, do)
 		waiterDone <- err
 	}()
 	waitFor(t, func() bool { return c.Stats().Waiting == 1 })
@@ -351,7 +351,7 @@ func TestCacheBypass(t *testing.T) {
 	do := countingPlan(&calls)
 	// Nil cache runs do directly.
 	var nc *Cache
-	if _, out, err := nc.Plan(context.Background(), 1, profileReq(0, 1), do); err != nil || out != Bypass {
+	if _, out, err := nc.Plan(context.Background(), "n", 1, profileReq(0, 1), do); err != nil || out != Bypass {
 		t.Fatalf("nil cache: outcome %v err %v", out, err)
 	}
 	if nc.Stats() != (CacheStats{}) {
@@ -359,7 +359,7 @@ func TestCacheBypass(t *testing.T) {
 	}
 	// Unknown kind has no key and bypasses too.
 	c := NewCache(16, 0)
-	if _, out, err := c.Plan(context.Background(), 1, transit.Request{Kind: "bogus"}, do); err != nil || out != Bypass {
+	if _, out, err := c.Plan(context.Background(), "n", 1, transit.Request{Kind: "bogus"}, do); err != nil || out != Bypass {
 		t.Fatalf("keyless request: outcome %v err %v", out, err)
 	}
 	if calls != 2 {
@@ -389,7 +389,7 @@ func TestCacheStress(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				epoch := uint64(1 + i/100) // mid-run epoch bump
 				req := profileReq(transit.StationID(w%4), transit.StationID(i%40))
-				res, _, err := c.Plan(context.Background(), epoch, req, do)
+				res, _, err := c.Plan(context.Background(), "n", epoch, req, do)
 				if err == nil && res == nil {
 					t.Error("nil result without error")
 				}
@@ -406,5 +406,58 @@ func TestCacheStress(t *testing.T) {
 	}
 	if st.Hits == 0 || st.Misses == 0 {
 		t.Fatalf("stress produced no mix: %+v", st)
+	}
+}
+
+// TestCacheNetworkIsolation is the multi-tenant contract: the same request
+// on two networks gets two independent entries, and an epoch bump on one
+// network neither invalidates nor sweeps the other's answers. Without this,
+// a delay batch posted to one city would evict every city's cache.
+func TestCacheNetworkIsolation(t *testing.T) {
+	c := NewCache(16, 0)
+	ctx := context.Background()
+	callsA, callsB := 0, 0
+	doA, doB := countingPlan(&callsA), countingPlan(&callsB)
+	req := profileReq(0, 1)
+
+	// Identical request, epoch and options — only the network differs.
+	c.Plan(ctx, "a", 1, req, doA)
+	c.Plan(ctx, "b", 1, req, doB)
+	if callsA != 1 || callsB != 1 {
+		t.Fatalf("two networks shared a fill: a=%d b=%d calls", callsA, callsB)
+	}
+	if _, out, _ := c.Plan(ctx, "a", 1, req, doA); out != Hit {
+		t.Fatalf("network a re-ask: outcome %v, want hit", out)
+	}
+	if _, out, _ := c.Plan(ctx, "b", 1, req, doB); out != Hit {
+		t.Fatalf("network b re-ask: outcome %v, want hit", out)
+	}
+
+	// A delay batch on a (epoch 1→2): a recomputes, b's entry is untouched.
+	if _, out, _ := c.Plan(ctx, "a", 2, req, doA); out != Miss {
+		t.Fatalf("network a post-bump: outcome %v, want miss", out)
+	}
+	if _, out, _ := c.Plan(ctx, "b", 1, req, doB); out != Hit {
+		t.Fatalf("network b after a's bump: outcome %v, want hit (cross-tenant bleed)", out)
+	}
+	if callsB != 1 {
+		t.Fatalf("network b recomputed after a's epoch bump: %d calls", callsB)
+	}
+	// a's stale entry was swept, a@2 and b@1 remain.
+	if st := c.Stats(); st.Entries != 2 {
+		t.Fatalf("Entries = %d, want 2 (a@2 + b@1)", st.Entries)
+	}
+
+	// A late fill at a's superseded epoch is dropped; the same epoch value
+	// is still perfectly valid for b (per-network high-water marks).
+	c.Plan(ctx, "a", 1, profileReq(0, 2), doA)
+	if st := c.Stats(); st.Entries != 2 {
+		t.Fatalf("stale-epoch fill for a was stored: %d entries", st.Entries)
+	}
+	if _, out, _ := c.Plan(ctx, "b", 1, profileReq(0, 2), doB); out != Miss {
+		t.Fatalf("network b new request: outcome %v, want storable miss", out)
+	}
+	if _, out, _ := c.Plan(ctx, "b", 1, profileReq(0, 2), doB); out != Hit {
+		t.Fatalf("network b epoch 1 entry not stored after a moved to 2")
 	}
 }

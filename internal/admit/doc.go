@@ -16,7 +16,7 @@
 // bounded by entry count and by approximate result bytes, LRU-evicted.
 //
 // The intended composition (what tpserver does) is cache outside, gate
-// inside: Cache.Plan(ctx, epoch, req, do) where do acquires the Gate and
+// inside: Cache.Plan(ctx, network, epoch, req, do) where do acquires the Gate and
 // then runs the search. Hits and coalesced waiters then cost no admission
 // slot — under a spike of popular queries the cache absorbs most of the
 // load and the gate bounds what remains.

@@ -1,0 +1,390 @@
+package catalog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"transit"
+	"transit/internal/live"
+)
+
+// buildNet is a deterministic two-station network: trains leave A hourly
+// from startHour and reach B 30 minutes later. Different startHour values
+// give tenants distinguishable answers.
+func buildNet(t testing.TB, startHour int) *transit.Network {
+	t.Helper()
+	tb := transit.NewTimetableBuilder(0)
+	a := tb.AddStation("A", 2)
+	b := tb.AddStation("B", 2)
+	for h := startHour; h <= 22; h++ {
+		if err := tb.AddTrain(fmt.Sprintf("h%02d", h), []transit.StationID{a, b},
+			transit.Ticks(h*60), []transit.Ticks{30}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := tb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func writeSnap(t testing.TB, path string, n *transit.Network) int64 {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.WriteSnapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// catalogDir builds a two-tenant catalog directory ("a", "b") and returns
+// it with a memory budget that admits exactly one of the two tenants.
+func catalogDir(t testing.TB) (dir string, oneTenantBudget int64) {
+	t.Helper()
+	dir = t.TempDir()
+	sa := writeSnap(t, filepath.Join(dir, "a.snap"), buildNet(t, 6))
+	sb := writeSnap(t, filepath.Join(dir, "b.snap"), buildNet(t, 7))
+	if err := WriteManifest(dir, &Manifest{Networks: []Entry{
+		{Name: "a", Snapshot: "a.snap"},
+		{Name: "b", Snapshot: "b.snap"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	big, small := sa, sb
+	if sb > sa {
+		big, small = sb, sa
+	}
+	// Headroom of half the smaller snapshot: one resident tenant always
+	// fits (persist files drift a few bytes from the base snapshot), two
+	// never do.
+	return dir, big + small/2
+}
+
+func mustAcquire(t *testing.T, c *Catalog, name string) *Handle {
+	t.Helper()
+	h, err := c.Acquire(context.Background(), name)
+	if err != nil {
+		t.Fatalf("Acquire(%s): %v", name, err)
+	}
+	return h
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(t.TempDir(), Config{}); err == nil {
+		t.Error("Open without a manifest succeeded")
+	}
+
+	dir := t.TempDir()
+	if err := WriteManifest(dir, &Manifest{Networks: []Entry{{Name: "a", Snapshot: "a.snap"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Config{}); err == nil {
+		t.Error("Open with a missing snapshot file succeeded")
+	}
+
+	writeSnap(t, filepath.Join(dir, "a.snap"), buildNet(t, 6))
+	if _, err := Open(dir, Config{Default: "nope"}); err == nil {
+		t.Error("Open with an unknown default override succeeded")
+	}
+	c, err := Open(dir, Config{Default: "a"})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer c.Close()
+	if c.DefaultName() != "a" {
+		t.Errorf("default %q, want a", c.DefaultName())
+	}
+}
+
+func TestAcquireUnknownNetwork(t *testing.T) {
+	dir, _ := catalogDir(t)
+	c, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Acquire(context.Background(), "nope")
+	var te *transit.Error
+	if !errors.As(err, &te) || te.Code != transit.CodeUnknownNetwork {
+		t.Fatalf("Acquire(nope) err = %v, want CodeUnknownNetwork", err)
+	}
+}
+
+func TestLazyLoadPinEvict(t *testing.T) {
+	dir, budget := catalogDir(t)
+	c, err := Open(dir, Config{MemBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if m := c.Metrics(); m.Networks != 2 || m.Resident != 0 || m.Loads != 0 {
+		t.Fatalf("fresh catalog metrics %+v", m)
+	}
+
+	// First Acquire materializes; the second shares the residency.
+	h1 := mustAcquire(t, c, "a")
+	h2 := mustAcquire(t, c, "a")
+	if h1.Registry() != h2.Registry() {
+		t.Fatal("two pins of the same tenant got different registries")
+	}
+	if h1.Name() != "a" {
+		t.Fatalf("handle name %q", h1.Name())
+	}
+	if m, _ := c.NetworkMetrics("a"); !m.Resident || m.Pinned != 2 || m.Loads != 1 {
+		t.Fatalf("pinned tenant metrics %+v", m)
+	}
+	h1.Release()
+	h2.Release()
+	if m := c.Metrics(); m.Loads != 1 || m.Evictions != 0 {
+		t.Fatalf("after release: %+v", m)
+	}
+
+	// Loading the second tenant exceeds the budget and evicts the idle first.
+	hb := mustAcquire(t, c, "b")
+	hb.Release()
+	if c.Resident("a") != nil {
+		t.Fatal("tenant a still resident after b displaced it")
+	}
+	if c.Resident("b") == nil {
+		t.Fatal("tenant b not resident")
+	}
+	if m := c.Metrics(); m.Evictions != 1 || m.Resident != 1 {
+		t.Fatalf("after displacement: %+v", m)
+	}
+
+	// The evicted tenant reloads transparently.
+	ha := mustAcquire(t, c, "a")
+	defer ha.Release()
+	if m, _ := c.NetworkMetrics("a"); m.Loads != 2 || m.Evictions != 1 {
+		t.Fatalf("reloaded tenant metrics %+v", m)
+	}
+}
+
+func TestPinnedTenantNotEvicted(t *testing.T) {
+	dir, budget := catalogDir(t)
+	c, err := Open(dir, Config{MemBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ha := mustAcquire(t, c, "a")
+	hb := mustAcquire(t, c, "b")
+	// Both pinned: the budget is overshot rather than either being evicted.
+	if c.Resident("a") == nil || c.Resident("b") == nil {
+		t.Fatal("pinned tenant evicted during overshoot")
+	}
+	if m := c.Metrics(); m.ResidentBytes <= budget {
+		t.Fatalf("expected overshoot while pinned, resident %d budget %d", m.ResidentBytes, budget)
+	}
+	// Releasing b makes it the only evictable tenant; the deferred eviction
+	// fires on the release and must take b, not the still-pinned a.
+	hb.Release()
+	if c.Resident("a") == nil {
+		t.Fatal("pinned tenant a was evicted")
+	}
+	if c.Resident("b") != nil {
+		t.Fatal("tenant b survived its release while over budget")
+	}
+	// a alone fits the budget, so its release evicts nothing.
+	ha.Release()
+	if c.Resident("a") == nil {
+		t.Fatal("tenant a evicted although under budget")
+	}
+}
+
+func TestEvictionPersistsEpoch(t *testing.T) {
+	dir, budget := catalogDir(t)
+	c, err := Open(dir, Config{MemBytes: budget, PersistDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ha := mustAcquire(t, c, "a")
+	if _, _, err := ha.Registry().Apply([]transit.DelayOp{{Train: "h08", Delay: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if e := ha.Registry().Snapshot().Epoch; e != 1 {
+		t.Fatalf("epoch after delay %d, want 1", e)
+	}
+	ha.Release()
+
+	// Displace a; the eviction flushes its final checkpoint.
+	hb := mustAcquire(t, c, "b")
+	hb.Release()
+	if c.Resident("a") != nil {
+		t.Fatal("tenant a still resident")
+	}
+	// The frozen metrics keep the cold tenant's epoch visible.
+	if m, _ := c.NetworkMetrics("a"); m.Resident || m.Live.Epoch != 1 {
+		t.Fatalf("cold tenant metrics %+v", m)
+	}
+
+	// Reload resumes at the persisted epoch, not the base snapshot's 0.
+	ha = mustAcquire(t, c, "a")
+	defer ha.Release()
+	if e := ha.Registry().Snapshot().Epoch; e != 1 {
+		t.Fatalf("reloaded epoch %d, want 1", e)
+	}
+}
+
+func TestLoadErrorRecovery(t *testing.T) {
+	dir, _ := catalogDir(t)
+	if err := os.WriteFile(filepath.Join(dir, "b.snap"), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Acquire(context.Background(), "b"); err == nil {
+		t.Fatal("corrupt snapshot loaded")
+	}
+	if m := c.Metrics(); m.LoadErrors != 1 {
+		t.Fatalf("load errors %d, want 1", m.LoadErrors)
+	}
+	// A repaired file serves on the next attempt — the failure left no
+	// stuck loading state behind.
+	writeSnap(t, filepath.Join(dir, "b.snap"), buildNet(t, 7))
+	h := mustAcquire(t, c, "b")
+	h.Release()
+}
+
+func TestCloseCatalog(t *testing.T) {
+	dir, _ := catalogDir(t)
+	c, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := mustAcquire(t, c, "a")
+	c.Close()
+	c.Close() // idempotent
+	if _, err := c.Acquire(context.Background(), "a"); err == nil {
+		t.Fatal("Acquire after Close succeeded")
+	}
+	// The in-flight handle's release is a no-op, not a crash.
+	h.Release()
+}
+
+func TestStaticCatalog(t *testing.T) {
+	reg := live.NewRegistry(buildNet(t, 6), live.Config{Policy: live.ServeUnpruned})
+	defer reg.Close()
+	c := NewStatic("default", reg)
+	defer c.Close()
+
+	if got := c.Names(); len(got) != 1 || got[0] != "default" {
+		t.Fatalf("names %v", got)
+	}
+	if c.DefaultName() != "default" {
+		t.Fatalf("default %q", c.DefaultName())
+	}
+	h := mustAcquire(t, c, "default")
+	if h.Registry() != reg {
+		t.Fatal("static tenant serves a different registry")
+	}
+	h.Release()
+	if c.Resident("default") != reg {
+		t.Fatal("static tenant evicted")
+	}
+	if m := c.Metrics(); m.Networks != 1 || m.Resident != 1 || m.Loads != 0 {
+		t.Fatalf("static metrics %+v", m)
+	}
+}
+
+// TestConcurrentAcquireEvictChurn is the isolation race test: a budget that
+// admits one tenant, many goroutines querying both — every acquire of one
+// tenant evicts and later reloads the other, while queries are in flight on
+// pinned handles. Run under -race in CI; the assertions here are that no
+// acquire fails, no query observes a closed registry, and per-tenant delay
+// state survives the churn.
+func TestConcurrentAcquireEvictChurn(t *testing.T) {
+	dir, budget := catalogDir(t)
+	c, err := Open(dir, Config{MemBytes: budget, PersistDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Seed tenant a with one delay batch so reloads must carry epoch 1.
+	ha := mustAcquire(t, c, "a")
+	if _, _, err := ha.Registry().Apply([]transit.DelayOp{{Train: "h09", Delay: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	ha.Release()
+
+	const (
+		workers = 8
+		rounds  = 40
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			names := [2]string{"a", "b"}
+			for i := 0; i < rounds; i++ {
+				name := names[(w+i)%2]
+				h, err := c.Acquire(context.Background(), name)
+				if err != nil {
+					errc <- fmt.Errorf("worker %d acquire %s: %w", w, name, err)
+					return
+				}
+				snap := h.Registry().Snapshot()
+				req := transit.Request{
+					Kind:   transit.KindEarliestArrival,
+					From:   0,
+					To:     1,
+					Depart: transit.Ticks(8 * 60),
+				}
+				if _, err := snap.Net.Plan(context.Background(), req); err != nil {
+					errc <- fmt.Errorf("worker %d plan on %s: %w", w, name, err)
+					h.Release()
+					return
+				}
+				if name == "a" && snap.Epoch != 1 {
+					errc <- fmt.Errorf("worker %d: tenant a at epoch %d, want 1", w, snap.Epoch)
+					h.Release()
+					return
+				}
+				if name == "b" && snap.Epoch != 0 {
+					errc <- fmt.Errorf("worker %d: tenant b at epoch %d, want 0", w, snap.Epoch)
+					h.Release()
+					return
+				}
+				h.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if m := c.Metrics(); m.Evictions == 0 {
+		t.Error("churn produced no evictions — budget did not force contention")
+	} else {
+		t.Logf("churn: %d loads, %d evictions, load time %v", m.Loads, m.Evictions, m.LoadDuration)
+	}
+}

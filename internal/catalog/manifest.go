@@ -1,0 +1,128 @@
+package catalog
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ManifestFile is the manifest's file name inside a catalog directory.
+const ManifestFile = "catalog.json"
+
+// maxNameLen bounds a network name. Names travel in URLs, metric labels
+// and persist-file names, so they are kept short and boring.
+const maxNameLen = 64
+
+// ErrManifest wraps every manifest validation failure, so callers (and the
+// fuzzer) can classify any rejection with one errors.Is test.
+var ErrManifest = errors.New("catalog: invalid manifest")
+
+// Entry names one network of the catalog and the snapshot file serving it.
+// Snapshot is a path relative to the catalog directory; absolute paths and
+// paths escaping the directory (traversal) are rejected.
+type Entry struct {
+	Name     string `json:"name"`
+	Snapshot string `json:"snapshot"`
+}
+
+// Manifest is the parsed catalog.json: the set of served networks, plus
+// the default network answering the un-prefixed legacy routes. An empty
+// Default resolves to the first entry.
+type Manifest struct {
+	Default  string  `json:"default,omitempty"`
+	Networks []Entry `json:"networks"`
+}
+
+// ValidName reports whether name is a legal network name: 1–64 characters
+// of lowercase letters, digits, '-' or '_', starting with a letter or
+// digit. The grammar is deliberately narrow — names appear in URL paths,
+// Prometheus label values and file names without escaping.
+func ValidName(name string) bool {
+	if len(name) == 0 || len(name) > maxNameLen {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		switch c := name[i]; {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+		case (c == '-' || c == '_') && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func manifestErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrManifest, fmt.Sprintf(format, args...))
+}
+
+// ParseManifest decodes and validates a manifest. Every failure — malformed
+// JSON, unknown fields, hostile network names, path traversal, duplicate
+// entries, a default naming no entry — returns an error wrapping
+// ErrManifest; no input panics.
+func ParseManifest(data []byte) (*Manifest, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return nil, manifestErrf("%v", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, manifestErrf("trailing data after the manifest object")
+	}
+	if len(m.Networks) == 0 {
+		return nil, manifestErrf("no networks declared")
+	}
+	seen := make(map[string]bool, len(m.Networks))
+	for i, e := range m.Networks {
+		if !ValidName(e.Name) {
+			return nil, manifestErrf("entry %d: invalid network name %q (want 1–%d of [a-z0-9_-], starting with a letter or digit)",
+				i, e.Name, maxNameLen)
+		}
+		if seen[e.Name] {
+			return nil, manifestErrf("entry %d: duplicate network %q", i, e.Name)
+		}
+		seen[e.Name] = true
+		if e.Snapshot == "" {
+			return nil, manifestErrf("entry %d (%s): missing snapshot path", i, e.Name)
+		}
+		if !filepath.IsLocal(e.Snapshot) {
+			return nil, manifestErrf("entry %d (%s): snapshot path %q escapes the catalog directory",
+				i, e.Name, e.Snapshot)
+		}
+	}
+	if m.Default == "" {
+		m.Default = m.Networks[0].Name
+	} else if !seen[m.Default] {
+		return nil, manifestErrf("default %q names no entry", m.Default)
+	}
+	return &m, nil
+}
+
+// ReadManifest loads and parses dir/catalog.json.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	return ParseManifest(data)
+}
+
+// WriteManifest renders m as indented JSON into dir/catalog.json, after
+// re-validating it through the parser (a builder bug becomes a build-time
+// error, not a serving-time one).
+func WriteManifest(dir string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := ParseManifest(data); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, ManifestFile), data, 0o644)
+}

@@ -1,0 +1,158 @@
+package catalog
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestValidName(t *testing.T) {
+	for name, want := range map[string]bool{
+		"oahu":                            true,
+		"los-angeles":                     true,
+		"rail_2024":                       true,
+		"0sector":                         true,
+		"a":                               true,
+		"":                                false,
+		"-lead":                           false, // separators may not lead
+		"_lead":                           false,
+		"UpperCase":                       false,
+		"dot.dot":                         false,
+		"sla/sh":                          false,
+		"spa ce":                          false,
+		"ünïcode":                         false,
+		strings.Repeat("x", maxNameLen):   true,
+		strings.Repeat("x", maxNameLen+1): false,
+	} {
+		if got := ValidName(name); got != want {
+			t.Errorf("ValidName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestParseManifest(t *testing.T) {
+	valid := []struct {
+		name, in    string
+		wantDefault string
+	}{
+		{"basic", `{"networks":[{"name":"a","snapshot":"a.snap"}]}`, "a"},
+		{"explicit default", `{"default":"b","networks":[{"name":"a","snapshot":"a.snap"},{"name":"b","snapshot":"b.snap"}]}`, "b"},
+		{"empty default is first entry", `{"networks":[{"name":"x","snapshot":"x.snap"},{"name":"y","snapshot":"y.snap"}]}`, "x"},
+		{"subdirectory snapshot", `{"networks":[{"name":"a","snapshot":"snaps/a.snap"}]}`, "a"},
+	}
+	for _, tc := range valid {
+		m, err := ParseManifest([]byte(tc.in))
+		if err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+			continue
+		}
+		if m.Default != tc.wantDefault {
+			t.Errorf("%s: default %q, want %q", tc.name, m.Default, tc.wantDefault)
+		}
+	}
+
+	invalid := []struct{ name, in string }{
+		{"not json", `garbage`},
+		{"empty input", ``},
+		{"wrong top-level type", `[1,2,3]`},
+		{"unknown field", `{"nets":[{"name":"a","snapshot":"a.snap"}]}`},
+		{"trailing data", `{"networks":[{"name":"a","snapshot":"a.snap"}]} extra`},
+		{"second object", `{"networks":[{"name":"a","snapshot":"a.snap"}]}{}`},
+		{"no networks", `{}`},
+		{"empty networks", `{"networks":[]}`},
+		{"empty name", `{"networks":[{"name":"","snapshot":"a.snap"}]}`},
+		{"hostile name", `{"networks":[{"name":"../etc","snapshot":"a.snap"}]}`},
+		{"uppercase name", `{"networks":[{"name":"Oahu","snapshot":"a.snap"}]}`},
+		{"duplicate name", `{"networks":[{"name":"a","snapshot":"a.snap"},{"name":"a","snapshot":"b.snap"}]}`},
+		{"missing snapshot", `{"networks":[{"name":"a"}]}`},
+		{"absolute snapshot", `{"networks":[{"name":"a","snapshot":"/etc/passwd"}]}`},
+		{"traversal snapshot", `{"networks":[{"name":"a","snapshot":"../../other.snap"}]}`},
+		{"dot-dot inside", `{"networks":[{"name":"a","snapshot":"x/../../y.snap"}]}`},
+		{"default names no entry", `{"default":"z","networks":[{"name":"a","snapshot":"a.snap"}]}`},
+	}
+	for _, tc := range invalid {
+		m, err := ParseManifest([]byte(tc.in))
+		if err == nil {
+			t.Errorf("%s: accepted %+v", tc.name, m)
+			continue
+		}
+		if !errors.Is(err, ErrManifest) {
+			t.Errorf("%s: error %v does not wrap ErrManifest", tc.name, err)
+		}
+	}
+}
+
+func TestWriteReadManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := &Manifest{
+		Default: "b",
+		Networks: []Entry{
+			{Name: "a", Snapshot: "a.snap"},
+			{Name: "b", Snapshot: "b.snap"},
+		},
+	}
+	if err := WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Default != "b" || len(got.Networks) != 2 || got.Networks[0] != m.Networks[0] || got.Networks[1] != m.Networks[1] {
+		t.Fatalf("round trip: got %+v, want %+v", got, m)
+	}
+
+	// WriteManifest re-validates: a builder bug fails before touching disk.
+	bad := &Manifest{Networks: []Entry{{Name: "../up", Snapshot: "x.snap"}}}
+	if err := WriteManifest(t.TempDir(), bad); !errors.Is(err, ErrManifest) {
+		t.Fatalf("invalid manifest written: err %v", err)
+	}
+
+	if _, err := ReadManifest(filepath.Join(dir, "nope")); err == nil {
+		t.Fatal("ReadManifest on a missing directory succeeded")
+	}
+}
+
+// FuzzManifest asserts the parser's contract on arbitrary input: it never
+// panics, every rejection wraps ErrManifest, and every accepted manifest
+// satisfies the invariants the catalog relies on (valid unique names, local
+// snapshot paths, a default naming an entry).
+func FuzzManifest(f *testing.F) {
+	f.Add([]byte(`{"networks":[{"name":"a","snapshot":"a.snap"}]}`))
+	f.Add([]byte(`{"default":"b","networks":[{"name":"a","snapshot":"a.snap"},{"name":"b","snapshot":"b.snap"}]}`))
+	f.Add([]byte(`{"networks":[{"name":"../evil","snapshot":"/etc/passwd"}]}`))
+	f.Add([]byte(`{"networks":[{"name":"a","snapshot":"../../out.snap"}]}`))
+	f.Add([]byte(`{"networks":[]}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseManifest(data)
+		if err != nil {
+			if !errors.Is(err, ErrManifest) {
+				t.Fatalf("rejection %v does not wrap ErrManifest", err)
+			}
+			return
+		}
+		if len(m.Networks) == 0 {
+			t.Fatal("accepted manifest with no networks")
+		}
+		seen := make(map[string]bool)
+		for _, e := range m.Networks {
+			if !ValidName(e.Name) {
+				t.Fatalf("accepted invalid name %q", e.Name)
+			}
+			if seen[e.Name] {
+				t.Fatalf("accepted duplicate name %q", e.Name)
+			}
+			seen[e.Name] = true
+			if e.Snapshot == "" || !filepath.IsLocal(e.Snapshot) {
+				t.Fatalf("accepted non-local snapshot path %q", e.Snapshot)
+			}
+		}
+		if !seen[m.Default] {
+			t.Fatalf("default %q names no entry", m.Default)
+		}
+	})
+}

@@ -79,6 +79,12 @@ func (r *Registry) LabeledCounter(name, help, key, val string, sample func() flo
 	r.register(name, help, "counter", key, val, &series{sample: sample})
 }
 
+// LabeledGauge registers one series of a gauge family carrying a single
+// label pair. All series of a family must share the label key.
+func (r *Registry) LabeledGauge(name, help, key, val string, sample func() float64) {
+	r.register(name, help, "gauge", key, val, &series{sample: sample})
+}
+
 // NewHistogram registers and returns an unlabeled histogram family.
 func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
 	h := NewHistogram(bounds)
