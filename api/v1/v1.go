@@ -487,6 +487,15 @@ func HTTPStatus(code transit.ErrorCode) int {
 	}
 }
 
+// HealthResponse is the body of the GET /readyz readiness probe. Status is
+// "ready" while the instance should receive traffic, "starting" before the
+// listener is up, "draining" once shutdown began; Epoch is the default
+// network's serving epoch, present only when ready.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Epoch  uint64 `json:"epoch,omitempty"`
+}
+
 // NetworkInfo describes one network of a multi-tenant catalog server, as
 // listed by GET /v1/networks.
 type NetworkInfo struct {

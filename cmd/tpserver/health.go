@@ -1,0 +1,96 @@
+// Health probes and panic isolation. GET /healthz is liveness — the
+// process is up and the mux answers, nothing more. GET /readyz is
+// readiness: whether this instance should receive traffic right now; it
+// flips off before the admission gate drains on shutdown, so a load
+// balancer stops routing here before in-flight queries are waited out.
+// recoverPanics fences every handler: a panicking request becomes a typed
+// 500 envelope and a tpserver_panics_total increment instead of a dead
+// process, because one poisoned query must not take down the delay feed
+// and every other tenant with it.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+
+	"transit"
+	apiv1 "transit/api/v1"
+)
+
+// Readiness states, in lifecycle order. Only readyServing answers /readyz
+// with 200; the draining state exists so shutdown can take the instance
+// out of rotation while queries still drain.
+const (
+	readyStarting int32 = iota
+	readyServing
+	readyDraining
+)
+
+func readyStatus(st int32) string {
+	switch st {
+	case readyServing:
+		return "ready"
+	case readyDraining:
+		return "draining"
+	default:
+		return "starting"
+	}
+}
+
+// readyz answers the readiness probe: 200 with the serving epoch while
+// accepting traffic, 503 (starting or draining) otherwise. The body is a
+// typed apiv1.HealthResponse either way, so probes and humans read the
+// same thing.
+func (s *server) readyz(w http.ResponseWriter, r *http.Request) {
+	st := s.ready.Load()
+	resp := apiv1.HealthResponse{Status: readyStatus(st)}
+	w.Header().Set("Content-Type", "application/json")
+	if st != readyServing {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(resp)
+		return
+	}
+	resp.Epoch = s.defaultLive().Epoch
+	json.NewEncoder(w).Encode(resp)
+}
+
+// recoverPanics wraps the whole mux: a handler panic is logged with its
+// stack, counted (tpserver_panics_total), and answered with the /v1 error
+// envelope under code "internal" — best-effort, since the handler may
+// already have written headers. http.ErrAbortHandler passes through: it is
+// net/http's own idiom for abandoning a response, not a defect.
+func (s *server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.panics.Add(1)
+			logger := s.logger
+			if logger == nil {
+				logger = slog.Default()
+			}
+			logger.Error("panic in handler",
+				"method", r.Method, "path", r.URL.Path,
+				"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			json.NewEncoder(w).Encode(apiv1.NewErrorResponse(transit.NewError(
+				transit.CodeInternal, "internal server error", fmt.Errorf("%v", rec))))
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handler is the server's complete HTTP surface: the mux behind the panic
+// fence. Everything the listener serves goes through here.
+func (s *server) handler() http.Handler {
+	return s.recoverPanics(newMux(s))
+}

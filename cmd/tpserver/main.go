@@ -20,6 +20,7 @@
 //	GET      /version                      snapshot epoch + provenance
 //	GET      /metrics                      Prometheus-style counters
 //	GET      /healthz                      liveness
+//	GET      /readyz                       readiness (503 while starting or draining)
 //
 // Every /v1 query runs under the request's context — a disconnected client
 // aborts the in-flight search (counted by tpserver_queries_cancelled_total)
@@ -92,6 +93,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the -pprof side listener
 	"os"
@@ -135,6 +137,14 @@ type server struct {
 	// cancelled counts queries abandoned mid-flight (client disconnect or
 	// deadline), exposed as tpserver_queries_cancelled_total.
 	cancelled atomic.Uint64
+
+	// ready is the instance's readiness state (readyStarting/-Serving/
+	// -Draining): GET /readyz answers 200 only while serving, and shutdown
+	// flips to draining before the admission gate drains so load balancers
+	// stop routing here first. panics counts handler panics recovered by
+	// the recoverPanics fence (tpserver_panics_total).
+	ready  atomic.Int32
+	panics atomic.Uint64
 
 	// Per-endpoint request counters (GET /metrics). The map is fully
 	// populated by newMux before the server starts; afterwards only the
@@ -233,6 +243,7 @@ func newMux(s *server) *http.ServeMux {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.readyz)
 	return mux
 }
 
@@ -244,6 +255,10 @@ func main() {
 	snapFile := flag.String("snapshot", "", "boot from a network snapshot (tpgen -o; docs/SNAPSHOT_FORMAT.md)")
 	persistPath := flag.String("persist", "", "state file for periodic epoch persistence; resumed at startup when present")
 	persistInterval := flag.Duration("persist-interval", 30*time.Second, "how often -persist checkpoints the current epoch")
+	walEnabled := flag.Bool("wal", true,
+		"write-ahead journal next to the persist file(s): delay batches are fsynced before being acked, so a crash between checkpoints loses no acked batch (docs/RELIABILITY.md)")
+	repairTimeout := flag.Duration("repair-timeout", 2*time.Minute,
+		"watchdog on one background distance-table repair; past it the repair is abandoned for a full rebuild (0 = no watchdog)")
 	preprocess := flag.Float64("preprocess", 0.05, "transfer-station fraction (0 = no distance table)")
 	repreprocess := flag.String("repreprocess", "async", "distance table policy after a delay update: async, sync or off")
 	threads := flag.Int("threads", 1, "parallel workers per query")
@@ -309,9 +324,10 @@ func main() {
 			fatal("-catalog is exclusive with -net, -gtfs, -generate, -snapshot and -persist")
 		}
 		lcfg := live.Config{
-			Policy:    policy,
-			Selection: transit.TransferSelection{Fraction: *preprocess},
-			Options:   transit.Options{Threads: *threads},
+			Policy:        policy,
+			Selection:     transit.TransferSelection{Fraction: *preprocess},
+			Options:       transit.Options{Threads: *threads},
+			RepairTimeout: *repairTimeout,
 			Logf: func(format string, args ...any) {
 				logger.Info(fmt.Sprintf(format, args...))
 			},
@@ -333,6 +349,7 @@ func main() {
 			if ccfg.PersistDir == "" {
 				ccfg.PersistDir = *catalogDir
 			}
+			ccfg.Journal = *walEnabled
 		}
 		cat, err := catalog.Open(*catalogDir, ccfg)
 		if err != nil {
@@ -350,6 +367,16 @@ func main() {
 			policy: policy,
 		})
 		return
+	}
+	if *persistPath != "" {
+		// A crash mid-checkpoint leaves a half-written temp next to the
+		// persist file (the complete image only ever carries the final name);
+		// sweep orphans before anything reads the directory.
+		if removed, err := live.CleanupTemps(nil, *persistPath); err != nil {
+			logger.Warn("orphaned persist temp cleanup failed", "err", err)
+		} else if len(removed) > 0 {
+			logger.Info("removed orphaned persist temp files", "files", removed)
+		}
 	}
 	var n *transit.Network
 	state := transit.SnapshotState{}
@@ -399,18 +426,32 @@ func main() {
 		policy = live.ServeUnpruned
 	}
 	reg := live.NewRegistryAt(n, state, live.Config{
-		Policy:    policy,
-		Selection: sel,
-		Options:   transit.Options{Threads: *threads},
+		Policy:        policy,
+		Selection:     sel,
+		Options:       transit.Options{Threads: *threads},
+		RepairTimeout: *repairTimeout,
 		Logf: func(format string, args ...any) {
 			logger.Info(fmt.Sprintf(format, args...))
 		},
 	})
 	if *persistPath != "" {
+		if *walEnabled {
+			// Replay acked-but-unpersisted batches on top of the checkpoint,
+			// then journal every further batch before acking it.
+			walPath := *persistPath + ".wal"
+			replayed, err := reg.RecoverJournal(walPath)
+			if err != nil {
+				fatal("journal recovery failed", "path", walPath, "err", err)
+			}
+			if replayed > 0 {
+				logger.Info("replayed write-ahead journal", "path", walPath,
+					"batches", replayed, "epoch", reg.Snapshot().Epoch)
+			}
+		}
 		reg.StartPersist(*persistPath, *persistInterval)
 	}
 	s := newServer(reg, *threads)
-	logger.Info("ready", "startup", time.Since(start).Round(time.Millisecond), "epoch", state.Epoch)
+	logger.Info("ready", "startup", time.Since(start).Round(time.Millisecond), "epoch", reg.Snapshot().Epoch)
 	serve(s, logger, fatal, serveConfig{
 		queryTimeout: *queryTimeout, slowQuery: *slowQuery,
 		maxInflight: *maxInflight, queueDeadline: *queueDeadline,
@@ -449,8 +490,7 @@ func serve(s *server, logger *slog.Logger, fatal func(string, ...any), cfg serve
 	}
 
 	srv := &http.Server{
-		Addr:              cfg.listen,
-		Handler:           newMux(s),
+		Handler:           s.handler(), // the mux behind the panic fence
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -458,14 +498,25 @@ func serve(s *server, logger *slog.Logger, fatal func(string, ...any), cfg serve
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Listen before declaring readiness: /readyz says 200 only once the
+	// socket genuinely accepts connections.
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		fatal("listen failed", "addr", cfg.listen, "err", err)
+	}
+	s.ready.Store(readyServing)
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
 	logger.Info("listening", "addr", cfg.listen, "repreprocess", cfg.policy.String())
 	select {
 	case err := <-errc:
 		fatal("listener failed", "err", err)
 	case <-ctx.Done():
 		stop()
+		// Out of rotation first: probes see draining before any connection
+		// is refused, so load balancers stop sending traffic here while the
+		// in-flight queries below still complete.
+		s.ready.Store(readyDraining)
 		logger.Info("shutting down: draining in-flight queries", "budget", cfg.shutdownTimeout)
 		sctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
 		defer cancel()
@@ -790,9 +841,11 @@ func (s *server) delays(w http.ResponseWriter, r *http.Request) {
 	snap, st, err := h.Registry().Apply(ops)
 	switch {
 	case err == nil:
-	case errors.Is(err, live.ErrClosed):
-		// Shutting down: tell feed clients to retry against the next
-		// instance rather than drop the batch as malformed.
+	case errors.Is(err, live.ErrClosed), errors.Is(err, live.ErrJournal):
+		// Shutting down, or the batch could not be made durable (journal
+		// append failed — nothing was applied): tell feed clients to retry,
+		// here or against the next instance, rather than drop the batch as
+		// malformed.
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	case errors.Is(err, live.ErrReprocess):

@@ -110,6 +110,30 @@ func newServerObs(s *server) *serverObs {
 		func() float64 { return float64(s.defaultLive().PersistsTotal) })
 	r.Counter("tpserver_persist_errors_total", "Failed persistence checkpoints.",
 		func() float64 { return float64(s.defaultLive().PersistErrors) })
+	r.Counter("tpserver_persist_failures_total",
+		"Failed persistence checkpoints (alias of tpserver_persist_errors_total for the reliability dashboards).",
+		func() float64 { return float64(s.defaultLive().PersistErrors) })
+	r.Counter("tpserver_wal_appends_total",
+		"Delay batches journaled and fsynced before their ack.",
+		func() float64 { return float64(s.defaultLive().WalAppends) })
+	r.Counter("tpserver_wal_append_errors_total",
+		"Journal appends that failed; the batch was rejected with 503, not lost.",
+		func() float64 { return float64(s.defaultLive().WalAppendErrors) })
+	r.Counter("tpserver_wal_replayed_batches_total",
+		"Journaled batches replayed on top of the persisted checkpoint at boot.",
+		func() float64 { return float64(s.defaultLive().WalReplayed) })
+	r.Gauge("tpserver_wal_size_bytes",
+		"Current write-ahead journal size (0 when journaling is off).",
+		func() float64 { return float64(s.defaultLive().WalBytes) })
+	r.Counter("tpserver_repair_timeouts_total",
+		"Background table repairs abandoned by the -repair-timeout watchdog for a full rebuild.",
+		func() float64 { return float64(s.defaultLive().RepairTimeouts) })
+	r.Counter("tpserver_panics_total",
+		"Handler panics recovered by the request fence (each answered with a typed 500).",
+		func() float64 { return float64(s.panics.Load()) })
+	r.Gauge("tpserver_ready",
+		"Whether this instance is accepting traffic (1 ready; 0 starting or draining).",
+		func() float64 { return float64(b2i(s.ready.Load() == readyServing)) })
 	r.Counter("tpserver_queries_cancelled_total", "Queries abandoned mid-flight (client disconnect or deadline).",
 		func() float64 { return float64(s.cancelled.Load()) })
 	r.Gauge("tpserver_inflight", "Admitted search weight currently running.",

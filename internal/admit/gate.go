@@ -3,6 +3,7 @@ package admit
 import (
 	"container/list"
 	"context"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,7 +75,13 @@ func NewGate(capacity int64, queueDeadline time.Duration) *Gate {
 	return &Gate{capacity: capacity, deadline: queueDeadline, maxQueue: maxQueue, retry: retry}
 }
 
-func (g *Gate) overload() *Overload { return &Overload{RetryAfter: g.retry} }
+// overload builds the typed rejection with a jittered back-off in
+// [retry, 2·retry): shed clients retrying after a fixed hint would all
+// come back in the same instant and trip the gate again — spreading the
+// hint spreads the retry wave.
+func (g *Gate) overload() *Overload {
+	return &Overload{RetryAfter: g.retry + rand.N(g.retry)}
+}
 
 // Acquire obtains weight units of admission (clamped to [1, Capacity]) and
 // returns the release function to call when the work is done. On shed it

@@ -342,3 +342,26 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestRetryAfterJitterBounds pins the shed back-off hint to its contract:
+// every rejection suggests a retry in [retry, 2·retry) — at least the base
+// hint, strictly under double it — and the hints are spread, not a fixed
+// value that would synchronize the retry wave of every shed client.
+func TestRetryAfterJitterBounds(t *testing.T) {
+	g := NewGate(1, 300*time.Millisecond) // base hint rounds up to 1s
+	base := g.retry
+	if base != time.Second {
+		t.Fatalf("base retry = %v, want 1s", base)
+	}
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 200; i++ {
+		ov := g.overload()
+		if ov.RetryAfter < base || ov.RetryAfter >= 2*base {
+			t.Fatalf("RetryAfter = %v, want in [%v, %v)", ov.RetryAfter, base, 2*base)
+		}
+		seen[ov.RetryAfter] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("200 overloads produced %d distinct hints — no jitter", len(seen))
+	}
+}

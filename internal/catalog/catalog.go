@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"transit"
+	"transit/internal/faultfs"
 	"transit/internal/live"
 )
 
@@ -31,6 +32,12 @@ type Config struct {
 	// PersistInterval is the per-tenant background checkpoint cadence
 	// (live.StartPersist default when zero).
 	PersistInterval time.Duration
+	// Journal, with PersistDir set, gives every tenant a write-ahead
+	// journal <PersistDir>/<name>.wal: delay batches are fsynced before
+	// they are acked and replayed on load, so eviction/reload cycles and
+	// crashes both recover every acked epoch (not just the last
+	// checkpoint).
+	Journal bool
 	// Default overrides the manifest's default network.
 	Default string
 	// Logf, when set, receives load/evict lifecycle messages.
@@ -44,6 +51,7 @@ type tenant struct {
 	name        string
 	snapPath    string // absolute path of the manifest snapshot
 	persistPath string // "" when persistence is off
+	walPath     string // "" when journaling is off
 	static      bool   // injected via NewStatic: always resident, never evicted
 
 	reg  *live.Registry
@@ -101,12 +109,25 @@ func newCatalog(dir string, cfg Config) *Catalog {
 func (c *Catalog) lock()   { c.mu <- struct{}{} }
 func (c *Catalog) unlock() { <-c.mu }
 
+// fs returns the filesystem tenant files are read and persisted through:
+// the live template's FS, defaulting to the real disk.
+func (c *Catalog) fs() faultfs.FS {
+	if c.cfg.Live.FS != nil {
+		return c.cfg.Live.FS
+	}
+	return faultfs.Disk
+}
+
 // Open reads dir/catalog.json and returns a catalog serving its networks.
 // No snapshot is loaded yet; each tenant materializes on first Acquire.
 // Snapshot files must exist at Open time so a typo fails fast, not on the
 // first query.
 func Open(dir string, cfg Config) (*Catalog, error) {
-	m, err := ReadManifest(dir)
+	fsys := cfg.Live.FS
+	if fsys == nil {
+		fsys = faultfs.Disk
+	}
+	m, err := ReadManifestFS(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -127,12 +148,15 @@ func Open(dir string, cfg Config) (*Catalog, error) {
 	c.def = m.Default
 	for _, e := range m.Networks {
 		snapPath := filepath.Join(dir, e.Snapshot)
-		if _, err := os.Stat(snapPath); err != nil {
+		if _, err := fsys.Stat(snapPath); err != nil {
 			return nil, fmt.Errorf("catalog: network %s: %w", e.Name, err)
 		}
 		t := &tenant{name: e.Name, snapPath: snapPath}
 		if cfg.PersistDir != "" {
 			t.persistPath = filepath.Join(cfg.PersistDir, e.Name+".live.snap")
+			if cfg.Journal {
+				t.walPath = filepath.Join(cfg.PersistDir, e.Name+".wal")
+			}
 		}
 		c.tenants[e.Name] = t
 		c.names = append(c.names, e.Name)
@@ -268,18 +292,26 @@ func waitChan(t *tenant) chan struct{} {
 // previous process exit.
 func (c *Catalog) load(t *tenant) (*live.Registry, int64, error) {
 	start := time.Now()
+	fsys := c.fs()
 	path := t.snapPath
 	if t.persistPath != "" {
-		if _, err := os.Stat(t.persistPath); err == nil {
+		// A crash mid-checkpoint leaves an orphaned temp file next to the
+		// persist file; drop it before (re)loading.
+		if removed, err := live.CleanupTemps(fsys, t.persistPath); err == nil {
+			for _, name := range removed {
+				c.logf("catalog: %s: removed orphaned temp %s", t.name, filepath.Base(name))
+			}
+		}
+		if _, err := fsys.Stat(t.persistPath); err == nil {
 			path = t.persistPath
 		}
 	}
-	f, err := os.Open(path)
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return nil, 0, err
 	}
 	defer f.Close()
-	fi, err := f.Stat()
+	fi, err := fsys.Stat(path)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -298,6 +330,19 @@ func (c *Catalog) load(t *tenant) (*live.Registry, int64, error) {
 		}
 	}
 	reg := live.NewRegistryAt(n, *st, lcfg)
+	if t.walPath != "" {
+		// Replay acked-but-unpersisted batches and attach the journal
+		// before any traffic; a tenant whose journal cannot be opened is
+		// unusable, not silently non-durable.
+		replayed, err := reg.RecoverJournal(t.walPath)
+		if err != nil {
+			return nil, 0, fmt.Errorf("recovering journal: %w", err)
+		}
+		if replayed > 0 {
+			c.logf("catalog: %s: replayed %d journaled batch(es) to epoch %d",
+				t.name, replayed, reg.Snapshot().Epoch)
+		}
+	}
 	if t.persistPath != "" {
 		reg.StartPersist(t.persistPath, c.cfg.PersistInterval)
 	}
@@ -376,8 +421,10 @@ func (c *Catalog) Close() {
 	}
 	c.closed = true
 	var regs []*live.Registry
-	for _, t := range c.tenants {
-		if t.reg != nil {
+	for _, name := range c.names {
+		// Manifest order, not map order: shutdown I/O (final checkpoints,
+		// journal closes) happens in a deterministic sequence.
+		if t := c.tenants[name]; t.reg != nil {
 			regs = append(regs, t.reg)
 		}
 	}

@@ -8,6 +8,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"transit/internal/faultfs"
 )
 
 // ManifestFile is the manifest's file name inside a catalog directory.
@@ -105,7 +107,13 @@ func ParseManifest(data []byte) (*Manifest, error) {
 
 // ReadManifest loads and parses dir/catalog.json.
 func ReadManifest(dir string) (*Manifest, error) {
-	data, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	return ReadManifestFS(faultfs.Disk, dir)
+}
+
+// ReadManifestFS is ReadManifest through an injectable filesystem — the
+// seam the crash-safety tests load catalogs through.
+func ReadManifestFS(fsys faultfs.FS, dir string) (*Manifest, error) {
+	data, err := faultfs.ReadFile(fsys, filepath.Join(dir, ManifestFile))
 	if err != nil {
 		return nil, fmt.Errorf("catalog: %w", err)
 	}

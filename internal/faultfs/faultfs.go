@@ -1,0 +1,126 @@
+// Package faultfs is the injectable filesystem seam under the durability
+// paths of the serving stack: live-state persistence (internal/live), the
+// delay write-ahead journal (internal/wal) and catalog tenant loading
+// (internal/catalog) perform all file I/O through the FS interface.
+// Production code runs on Disk, a thin veneer over the os package; tests
+// swap in Mem, an in-memory filesystem with an explicit durability model
+// that can inject short writes, failed Sync/Rename/Close, ENOSPC, and a
+// simulated process crash at any I/O step — the machinery behind the
+// crash-safety property tests (docs/RELIABILITY.md).
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// FS is the slice of filesystem the durability paths need. Implementations
+// must be safe for concurrent use.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics for the flags the
+	// durability paths use (O_RDONLY, O_RDWR, O_CREATE, O_EXCL, O_TRUNC).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Stat describes name.
+	Stat(name string) (fs.FileInfo, error)
+	// Glob lists the paths matching pattern (filepath.Match syntax on the
+	// final path element).
+	Glob(pattern string) ([]string, error)
+}
+
+// File is one open file of an FS.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Sync flushes written data to durable storage. Data not synced (or
+	// implied durable by a later Sync) may vanish in a crash.
+	Sync() error
+	// Truncate cuts (or zero-extends) the file to size bytes.
+	Truncate(size int64) error
+	// Name returns the path the file was opened as.
+	Name() string
+}
+
+// Disk is the production FS: the real filesystem via the os package.
+var Disk FS = diskFS{}
+
+type diskFS struct{}
+
+func (diskFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (diskFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (diskFS) Remove(name string) error             { return os.Remove(name) }
+func (diskFS) Stat(name string) (fs.FileInfo, error) {
+	return os.Stat(name)
+}
+func (diskFS) Glob(pattern string) ([]string, error) { return filepath.Glob(pattern) }
+
+// tempSeq makes CreateTemp names unique within a process.
+var tempSeq atomic.Uint64
+
+// CreateTemp creates a new file in dir with a name built from pattern
+// (os.CreateTemp semantics: the last '*' is replaced by a unique suffix),
+// opened for reading and writing. Callers are responsible for removing the
+// file when done — or, after a crash, at the next boot (live.CleanupTemps).
+func CreateTemp(fsys FS, dir, pattern string) (File, error) {
+	prefix, suffix := pattern, ""
+	for i := len(pattern) - 1; i >= 0; i-- {
+		if pattern[i] == '*' {
+			prefix, suffix = pattern[:i], pattern[i+1:]
+			break
+		}
+	}
+	pid := os.Getpid()
+	for try := 0; try < 10000; try++ {
+		name := filepath.Join(dir, fmt.Sprintf("%s%d_%d%s", prefix, pid, tempSeq.Add(1), suffix))
+		f, err := fsys.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+		if errors.Is(err, fs.ErrExist) {
+			continue
+		}
+		return f, err
+	}
+	return nil, fmt.Errorf("faultfs: could not create a unique temp file from %q in %s", pattern, dir)
+}
+
+// ReadFile reads the whole of name through fsys.
+func ReadFile(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// WriteFile writes data to name through fsys (create or truncate), syncing
+// before close so the content is durable.
+func WriteFile(fsys FS, name string, data []byte, perm fs.FileMode) error {
+	f, err := fsys.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

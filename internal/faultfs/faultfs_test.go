@@ -1,0 +1,260 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"testing"
+)
+
+func TestMemRoundTrip(t *testing.T) {
+	m := NewMem()
+	if err := WriteFile(m, "dir/a.txt", []byte("hello"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(m, "dir/a.txt")
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("content = %q, want hello", got)
+	}
+	fi, err := m.Stat("dir/a.txt")
+	if err != nil || fi.Size() != 5 {
+		t.Fatalf("Stat = %v, %v; want size 5", fi, err)
+	}
+	if _, err := m.Stat("missing"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Stat missing = %v, want ErrNotExist", err)
+	}
+}
+
+func TestMemRenameAndGlob(t *testing.T) {
+	m := NewMem()
+	if err := WriteFile(m, "a.tmp1", nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(m, "a.tmp2", nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	names, err := m.Glob("a.tmp*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("Glob = %v, want 2 entries", names)
+	}
+	if err := m.Rename("a.tmp1", "a.dat"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if _, err := m.Stat("a.tmp1"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("old name still present: %v", err)
+	}
+	if _, err := m.Stat("a.dat"); err != nil {
+		t.Fatalf("new name missing: %v", err)
+	}
+	if err := m.Remove("a.tmp2"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+}
+
+func TestMemInjectedError(t *testing.T) {
+	m := NewMem()
+	// Learn the step count of the scenario fault-free.
+	if err := WriteFile(m, "f", []byte("abc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	steps := m.Steps()
+	if steps != 4 { // open, write, sync, close
+		t.Fatalf("steps = %d, want 4", steps)
+	}
+	for k := 1; k <= steps; k++ {
+		m.SetPlan(Plan{FailStep: k})
+		if err := WriteFile(m, "g", []byte("abc"), 0o644); !errors.Is(err, ErrInjected) {
+			t.Fatalf("step %d: err = %v, want ErrInjected", k, err)
+		}
+		m.SetPlan(Plan{})
+	}
+	// Custom error surfaces as-is.
+	boom := errors.New("boom")
+	m.SetPlan(Plan{FailStep: 2, Err: boom})
+	if err := WriteFile(m, "h", []byte("abc"), 0o644); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestMemShortWrite(t *testing.T) {
+	m := NewMem()
+	f, err := m.OpenFile("f", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetPlan(Plan{FailStep: 1, ShortWrite: true})
+	n, err := f.Write([]byte("abcdefgh"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if n != 4 {
+		t.Fatalf("n = %d, want 4 (half the buffer)", n)
+	}
+}
+
+func TestMemCrashRevertsToSynced(t *testing.T) {
+	m := NewMem()
+	f, err := m.OpenFile("f", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable.")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("unsynced-tail")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash on the next operation (SetPlan restarts the step count).
+	m.SetPlan(Plan{FailStep: 1, Crash: true})
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Sync after crash plan = %v, want ErrCrashed", err)
+	}
+	if !m.Crashed() {
+		t.Fatal("Crashed() = false after crash fired")
+	}
+	// Everything fails until reboot, including fresh opens.
+	if _, err := m.OpenFile("g", os.O_RDWR|os.O_CREATE, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("OpenFile while crashed = %v, want ErrCrashed", err)
+	}
+	m.Reboot()
+	got, err := ReadFile(m, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < len("durable.") || string(got[:8]) != "durable." {
+		t.Fatalf("after reboot content = %q, want synced prefix %q intact", got, "durable.")
+	}
+	if len(got) > len("durable.")+len("unsynced-tail") {
+		t.Fatalf("after reboot content %q longer than ever written", got)
+	}
+	// The pre-crash handle is permanently dead.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("stale handle write = %v, want ErrCrashed", err)
+	}
+}
+
+func TestMemCrashDuringWriteKeepsPrefixOnly(t *testing.T) {
+	// A crash mid-Write must never surface more bytes than were written,
+	// and the synced prefix must survive exactly.
+	for seed := 1; seed <= 8; seed++ {
+		m := NewMem()
+		f, err := m.OpenFile("f", os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("base")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		// Pad the step counter so the torn-tail fraction (seeded by the
+		// crash step) varies across iterations.
+		m.SetPlan(Plan{FailStep: seed, Crash: true})
+		pad, err := m.OpenFile("pad", os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil && !errors.Is(err, ErrCrashed) {
+			t.Fatal(err)
+		}
+		for i := 2; i < seed && err == nil; i++ {
+			_, err = pad.Write([]byte{byte(i)})
+		}
+		if !m.Crashed() {
+			if _, werr := f.Write([]byte("TAIL")); !errors.Is(werr, ErrCrashed) {
+				t.Fatalf("seed %d: err = %v, want ErrCrashed", seed, werr)
+			}
+		}
+		m.Reboot()
+		got, _ := ReadFile(m, "f")
+		if string(got[:4]) != "base" {
+			t.Fatalf("seed %d: synced prefix lost: %q", seed, got)
+		}
+		if len(got) > 8 {
+			t.Fatalf("seed %d: content %q longer than written", seed, got)
+		}
+	}
+}
+
+func TestMemRenameDurability(t *testing.T) {
+	// A synced file renamed into place must survive a crash immediately
+	// after the rename (metadata ops are modelled durable).
+	m := NewMem()
+	if err := WriteFile(m, "f.tmp", []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Rename("f.tmp", "f"); err != nil {
+		t.Fatal(err)
+	}
+	m.SetPlan(Plan{FailStep: 1, Crash: true})
+	_, _ = m.OpenFile("poke", os.O_RDWR|os.O_CREATE, 0o644)
+	m.Reboot()
+	got, err := ReadFile(m, "f")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("after crash: %q, %v; want payload under final name", got, err)
+	}
+	if _, err := m.Stat("f.tmp"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("tmp name resurrected after crash: %v", err)
+	}
+}
+
+func TestCreateTemp(t *testing.T) {
+	m := NewMem()
+	f1, err := CreateTemp(m, "d", "x.snap.tmp*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := CreateTemp(m, "d", "x.snap.tmp*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.Name() == f2.Name() {
+		t.Fatalf("CreateTemp returned duplicate name %q", f1.Name())
+	}
+	names, err := m.Glob("d/x.snap.tmp*")
+	if err != nil || len(names) != 2 {
+		t.Fatalf("Glob = %v, %v; want both temps", names, err)
+	}
+}
+
+func TestDiskFS(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/f"
+	if err := WriteFile(Disk, path, []byte("on disk"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(Disk, path)
+	if err != nil || string(got) != "on disk" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	f, err := Disk.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(3, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	rest, _ := io.ReadAll(f)
+	if string(rest) != "disk" {
+		t.Fatalf("seek+read = %q", rest)
+	}
+	f.Close()
+	if err := Disk.Rename(path, dir+"/g"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	names, err := Disk.Glob(dir + "/*")
+	if err != nil || len(names) != 1 {
+		t.Fatalf("Glob = %v, %v", names, err)
+	}
+	if err := Disk.Remove(dir + "/g"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+}

@@ -1,0 +1,426 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error a fault Plan returns at its FailStep —
+// it stands in for ENOSPC, EIO and friends.
+var ErrInjected = errors.New("faultfs: injected I/O failure")
+
+// ErrCrashed is returned by every operation after a Plan-triggered crash
+// and by operations on handles that predate a Reboot: the simulated
+// process is dead (or was restarted) and must not observe the filesystem.
+var ErrCrashed = errors.New("faultfs: simulated crash")
+
+// Plan is one injected fault. Steps count the write-side operations of a
+// Mem — OpenFile, Write, Sync, Close, Rename, Remove, Truncate — in
+// execution order starting at 1; pure reads (Read, Seek, Stat, Glob) are
+// free.
+type Plan struct {
+	// FailStep is the 1-based step at which the fault fires; 0 disables
+	// the plan.
+	FailStep int
+	// Err is returned at FailStep (ErrInjected when nil). Ignored when
+	// Crash is set.
+	Err error
+	// Crash, instead of a plain error, kills the simulated process at
+	// FailStep: the failing operation takes partial effect (a Write keeps
+	// a prefix of its bytes, as a torn write would), and every subsequent
+	// operation fails with ErrCrashed until Reboot.
+	Crash bool
+	// ShortWrite makes a plain (non-crash) failing Write commit a prefix
+	// of its buffer before returning Err, modelling a short write.
+	ShortWrite bool
+}
+
+// Mem is an in-memory FS with an explicit durability model: every file
+// tracks its current content and the content made durable by the last
+// Sync. A simulated crash reverts each file to its durable content — plus,
+// for append-only growth, a deterministic partial tail, modelling a torn
+// write that partially reached the platter. Metadata operations (create,
+// rename, remove) are modelled as immediately durable.
+//
+// Paths are flat: any slash-separated name works without mkdir.
+type Mem struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	plan    Plan
+	step    int
+	crashed bool
+	gen     int // bumped by Reboot; stale handles die
+}
+
+type memFile struct {
+	data    []byte // current content
+	durable []byte // content guaranteed to survive a crash
+}
+
+// NewMem returns an empty in-memory filesystem with no fault plan.
+func NewMem() *Mem {
+	return &Mem{files: make(map[string]*memFile)}
+}
+
+// SetPlan arms the fault plan and resets the step counter.
+func (m *Mem) SetPlan(p Plan) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.plan = p
+	m.step = 0
+}
+
+// Steps returns the number of write-side operations performed since the
+// last SetPlan/Reboot — run a scenario once fault-free to learn how many
+// crash points it has.
+func (m *Mem) Steps() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.step
+}
+
+// Crashed reports whether the plan's crash has fired.
+func (m *Mem) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
+
+// Reboot simulates the restart after a crash: every file drops to its
+// durable content, open handles from before the reboot fail permanently,
+// the plan is cleared, and the filesystem accepts operations again.
+func (m *Mem) Reboot() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.files {
+		f.data = append([]byte(nil), f.durable...)
+	}
+	m.crashed = false
+	m.plan = Plan{}
+	m.step = 0
+	m.gen++
+}
+
+// op accounts one write-side operation and fires the plan when its step
+// comes up. It reports the error the operation must return (nil = proceed)
+// and, for a crashing or short Write of n bytes, how many bytes to commit
+// first.
+func (m *Mem) op(writeLen int) (commit int, err error) {
+	if m.crashed {
+		return 0, ErrCrashed
+	}
+	m.step++
+	if m.plan.FailStep == 0 || m.step != m.plan.FailStep {
+		return writeLen, nil
+	}
+	if m.plan.Crash {
+		m.crashed = true
+		// A torn write: a deterministic prefix of the buffer reaches the
+		// file before the lights go out.
+		return writeLen * (m.step % 3) / 3, ErrCrashed
+	}
+	err = m.plan.Err
+	if err == nil {
+		err = ErrInjected
+	}
+	if m.plan.ShortWrite {
+		return writeLen / 2, err
+	}
+	return 0, err
+}
+
+// readCheck guards read-side operations: free of step accounting, but dead
+// after a crash.
+func (m *Mem) readCheck() error {
+	if m.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// snapSuffix computes the torn tail kept at crash time: when data grew
+// append-only beyond durable, a deterministic fraction of the unsynced
+// suffix survives (the page-cache pages that happened to be flushed).
+func tornTail(f *memFile, seed int) []byte {
+	if len(f.data) <= len(f.durable) {
+		return nil
+	}
+	extra := f.data[len(f.durable):]
+	if string(f.data[:len(f.durable)]) != string(f.durable) {
+		return nil // rewritten prefix: only the synced content is trustworthy
+	}
+	keep := (seed * 7919) % (len(extra) + 1)
+	return extra[:keep]
+}
+
+// crashNow finalizes the durable view at crash time, folding torn tails
+// into the durable content so Reboot exposes them.
+func (m *Mem) crashNow() {
+	for _, f := range m.files {
+		f.durable = append(append([]byte(nil), f.durable...), tornTail(f, m.step)...)
+	}
+}
+
+func (m *Mem) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	if flag&(os.O_WRONLY|os.O_RDWR|os.O_CREATE|os.O_TRUNC) == 0 {
+		// Pure read open: free.
+		if err := m.readCheck(); err != nil {
+			return nil, err
+		}
+	} else if _, err := m.op(0); err != nil {
+		if m.crashed {
+			m.crashNow()
+		}
+		return nil, err
+	}
+	f, ok := m.files[name]
+	switch {
+	case !ok && flag&os.O_CREATE == 0:
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	case ok && flag&os.O_CREATE != 0 && flag&os.O_EXCL != 0:
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrExist}
+	case !ok:
+		f = &memFile{}
+		m.files[name] = f
+	}
+	if flag&os.O_TRUNC != 0 {
+		f.data = nil
+	}
+	return &memHandle{m: m, f: f, name: name, gen: m.gen,
+		writable: flag&(os.O_WRONLY|os.O_RDWR) != 0}, nil
+}
+
+func (m *Mem) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.op(0); err != nil {
+		if m.crashed {
+			m.crashNow()
+		}
+		return err
+	}
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	f, ok := m.files[oldpath]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	delete(m.files, oldpath)
+	m.files[newpath] = f
+	return nil
+}
+
+func (m *Mem) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.op(0); err != nil {
+		if m.crashed {
+			m.crashNow()
+		}
+		return err
+	}
+	name = filepath.Clean(name)
+	if _, ok := m.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *Mem) Stat(name string) (fs.FileInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.readCheck(); err != nil {
+		return nil, err
+	}
+	name = filepath.Clean(name)
+	f, ok := m.files[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "stat", Path: name, Err: fs.ErrNotExist}
+	}
+	return memInfo{name: filepath.Base(name), size: int64(len(f.data))}, nil
+}
+
+func (m *Mem) Glob(pattern string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.readCheck(); err != nil {
+		return nil, err
+	}
+	var out []string
+	for name := range m.files {
+		ok, err := filepath.Match(pattern, name)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// memHandle is one open file of a Mem.
+type memHandle struct {
+	m        *Mem
+	f        *memFile
+	name     string
+	gen      int
+	pos      int64
+	closed   bool
+	writable bool
+}
+
+func (h *memHandle) stale() bool { return h.gen != h.m.gen || h.closed }
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.stale() {
+		return 0, ErrCrashed
+	}
+	if err := h.m.readCheck(); err != nil {
+		return 0, err
+	}
+	if h.pos >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.pos:])
+	h.pos += int64(n)
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.stale() {
+		return 0, ErrCrashed
+	}
+	if !h.writable {
+		return 0, &fs.PathError{Op: "write", Path: h.name, Err: fs.ErrPermission}
+	}
+	commit, err := h.m.op(len(p))
+	n := h.commitLocked(p[:commit])
+	if err != nil {
+		if h.m.crashed {
+			h.m.crashNow()
+		}
+		return n, err
+	}
+	return h.commitLocked(p[commit:]) + n, nil
+}
+
+// commitLocked writes p at the current position, extending with zeros when
+// the position is past the end. Caller holds m.mu.
+func (h *memHandle) commitLocked(p []byte) int {
+	if len(p) == 0 {
+		return 0
+	}
+	end := h.pos + int64(len(p))
+	for int64(len(h.f.data)) < end {
+		h.f.data = append(h.f.data, 0)
+	}
+	copy(h.f.data[h.pos:end], p)
+	h.pos = end
+	return len(p)
+}
+
+func (h *memHandle) Seek(offset int64, whence int) (int64, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.stale() {
+		return 0, ErrCrashed
+	}
+	if err := h.m.readCheck(); err != nil {
+		return 0, err
+	}
+	switch whence {
+	case io.SeekStart:
+		h.pos = offset
+	case io.SeekCurrent:
+		h.pos += offset
+	case io.SeekEnd:
+		h.pos = int64(len(h.f.data)) + offset
+	default:
+		return 0, fmt.Errorf("faultfs: bad whence %d", whence)
+	}
+	if h.pos < 0 {
+		h.pos = 0
+	}
+	return h.pos, nil
+}
+
+func (h *memHandle) Sync() error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.stale() {
+		return ErrCrashed
+	}
+	if _, err := h.m.op(0); err != nil {
+		if h.m.crashed {
+			h.m.crashNow()
+		}
+		return err
+	}
+	h.f.durable = append([]byte(nil), h.f.data...)
+	return nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.stale() {
+		return ErrCrashed
+	}
+	if _, err := h.m.op(0); err != nil {
+		if h.m.crashed {
+			h.m.crashNow()
+		}
+		return err
+	}
+	for int64(len(h.f.data)) < size {
+		h.f.data = append(h.f.data, 0)
+	}
+	h.f.data = h.f.data[:size]
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.stale() {
+		return ErrCrashed
+	}
+	if _, err := h.m.op(0); err != nil {
+		if h.m.crashed {
+			h.m.crashNow()
+		}
+		return err
+	}
+	h.closed = true
+	return nil
+}
+
+func (h *memHandle) Name() string { return h.name }
+
+type memInfo struct {
+	name string
+	size int64
+}
+
+func (i memInfo) Name() string       { return i.name }
+func (i memInfo) Size() int64        { return i.size }
+func (i memInfo) Mode() fs.FileMode  { return 0o644 }
+func (i memInfo) ModTime() time.Time { return time.Time{} }
+func (i memInfo) IsDir() bool        { return false }
+func (i memInfo) Sys() any           { return nil }

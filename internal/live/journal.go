@@ -1,0 +1,79 @@
+package live
+
+import (
+	"fmt"
+
+	"transit/internal/faultfs"
+	"transit/internal/wal"
+)
+
+// RecoverJournal opens (creating if absent) the write-ahead journal at
+// path, replays every journaled batch beyond the registry's current epoch,
+// and attaches the journal so subsequent Applys append to it before acking.
+// Call once at boot, after NewRegistry/NewRegistryAt and before serving
+// traffic; the returned count is the number of batches replayed.
+//
+// Recovery is at-least-once: a batch that was journaled but whose ack was
+// lost in the crash replays too, so the recovered epoch is ≥ the last
+// epoch any client saw acked — never behind it. Entries at or below the
+// registry's epoch (a checkpoint that outran a journal truncation) are
+// skipped; an entry that skips past the next epoch means the persisted
+// snapshot and the journal do not belong together, and is an error.
+func (r *Registry) RecoverJournal(path string) (int, error) {
+	j, entries, err := wal.Open(r.cfg.fs(), path)
+	if err != nil {
+		return 0, err
+	}
+	replayed := 0
+	for _, e := range entries {
+		cur := r.Snapshot()
+		if e.Epoch <= cur.Epoch {
+			continue
+		}
+		if e.Epoch != cur.Epoch+1 {
+			j.Close()
+			return replayed, fmt.Errorf("live: journal %s jumps from epoch %d to %d — snapshot and journal mismatch", path, cur.Epoch, e.Epoch)
+		}
+		snap, _, aerr := r.Apply(e.Ops)
+		if aerr != nil {
+			j.Close()
+			return replayed, fmt.Errorf("live: replaying journal epoch %d: %w", e.Epoch, aerr)
+		}
+		if snap.Epoch != e.Epoch {
+			// ApplyUpdates is deterministic, so a journaled batch that
+			// advanced the epoch once must advance it again from the same
+			// state — hitting this means the snapshot is not that state.
+			j.Close()
+			return replayed, fmt.Errorf("live: journal epoch %d no-opped on replay (snapshot stayed at %d) — snapshot and journal mismatch", e.Epoch, snap.Epoch)
+		}
+		replayed++
+		r.walReplayed.Add(1)
+	}
+	if replayed > 0 {
+		r.logf("live: replayed %d journaled batch(es), resuming at epoch %d", replayed, r.Snapshot().Epoch)
+	}
+	r.journal.Store(j)
+	return replayed, nil
+}
+
+// CleanupTemps removes orphaned temporary files a crash mid-PersistFile
+// left next to path (written but never renamed into place). Call at boot
+// before loading the persist file; fsys nil means the real disk. Returns
+// the paths removed.
+func CleanupTemps(fsys faultfs.FS, path string) ([]string, error) {
+	if fsys == nil {
+		fsys = faultfs.Disk
+	}
+	names, err := fsys.Glob(path + ".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	var removed []string
+	for _, name := range names {
+		if err := fsys.Remove(name); err != nil {
+			return removed, err
+		}
+		removed = append(removed, name)
+	}
+	return removed, nil
+}

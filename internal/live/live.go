@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"transit"
+	"transit/internal/faultfs"
+	"transit/internal/wal"
 )
 
 // ErrClosed is returned by Apply after Close: the registry no longer
@@ -18,6 +20,13 @@ var ErrClosed = errors.New("live: registry closed")
 // ErrReprocess wraps distance-table rebuild failures surfaced by Apply
 // under ReprocessSync — a server-side condition, not a malformed batch.
 var ErrReprocess = errors.New("live: re-preprocess failed")
+
+// ErrJournal wraps write-ahead journal append failures surfaced by Apply:
+// the batch could not be made durable, so it was NOT applied and the epoch
+// did not advance. The registry keeps serving the previous snapshot and
+// the feed client should retry — a server-side durability condition, not a
+// malformed batch.
+var ErrJournal = errors.New("live: journal append failed")
 
 // Policy selects what happens to distance-table preprocessing after an
 // update invalidates it. See the package documentation for the trade-offs.
@@ -74,6 +83,22 @@ type Config struct {
 	Options transit.Options
 	// Logf, when set, receives re-preprocessing progress and failures.
 	Logf func(format string, args ...any)
+	// FS is the filesystem behind persistence and the journal; nil means
+	// the real disk. Tests inject faultfs.Mem to simulate crashes.
+	FS faultfs.FS
+	// RepairTimeout bounds one async table repair: past it the straggling
+	// run is abandoned and a full rebuild from scratch is started instead,
+	// so a pathological repair cannot wedge the background loop. Zero
+	// disables the watchdog.
+	RepairTimeout time.Duration
+}
+
+// fs returns the configured filesystem, defaulting to the real disk.
+func (c *Config) fs() faultfs.FS {
+	if c.FS != nil {
+		return c.FS
+	}
+	return faultfs.Disk
 }
 
 // Snapshot is one immutable, query-ready version of the network. Epoch 0 is
@@ -111,6 +136,11 @@ type Registry struct {
 	base    *transit.Network
 	pending []transit.TouchedConn
 
+	// journal, when attached, receives every epoch-advancing batch before
+	// the snapshot swap acks it. Set once at boot (RecoverJournal); closed
+	// by Close after the final persist checkpoint.
+	journal atomic.Pointer[wal.Journal]
+
 	updates          atomic.Uint64
 	connsRetimed     atomic.Uint64
 	connsCancelled   atomic.Uint64
@@ -126,6 +156,10 @@ type Registry struct {
 	persists         atomic.Uint64
 	persistErrors    atomic.Uint64
 	persistedKey     atomic.Int64 // persistKey of the last PersistFile write; 0 = none
+	walAppends       atomic.Uint64
+	walAppendErrors  atomic.Uint64
+	walReplayed      atomic.Uint64
+	repairTimeouts   atomic.Uint64
 }
 
 // NewRegistry wraps an already-loaded (and possibly preprocessed) network
@@ -169,21 +203,41 @@ func (r *Registry) Apply(ops []transit.DelayOp) (*Snapshot, *transit.UpdateStats
 	if next == cur.Net {
 		return cur, st, nil // no-op batch: nothing changed, epoch stays
 	}
+	// Under ReprocessSync the rebuild runs before the batch is journaled:
+	// a failed rebuild must not leave an orphaned journal entry that would
+	// poison replay at the next boot. The repair state (base/pending) is
+	// committed only after the journal accepts the batch.
+	var syncPre *transit.Network
+	var syncPS *transit.PreprocessStats
+	var syncPending []transit.TouchedConn
 	if r.cfg.Policy == ReprocessSync {
-		pending := transit.MergeTouched(r.pending, st.Touched)
-		pre, ps, err := next.Repreprocess(r.base, pending, r.cfg.Selection, r.cfg.Options)
+		syncPending = transit.MergeTouched(r.pending, st.Touched)
+		syncPre, syncPS, err = next.Repreprocess(r.base, syncPending, r.cfg.Selection, r.cfg.Options)
 		if err != nil {
 			r.reprocessErrors.Add(1)
 			return nil, nil, fmt.Errorf("%w: %v", ErrReprocess, err)
 		}
-		r.pending = pending
-		r.noteRepreprocess(ps)
-		if ps.FullRebuild {
-			r.base, r.pending = pre, nil
+	}
+	// Journal before the swap: once Append returns the batch is fsynced,
+	// so acking the new epoch to the client is safe — a crash after this
+	// point replays the batch from the journal.
+	if j := r.journal.Load(); j != nil {
+		if jerr := j.Append(cur.Epoch+1, ops); jerr != nil {
+			r.walAppendErrors.Add(1)
+			r.logf("live: journal append for epoch %d failed: %v", cur.Epoch+1, jerr)
+			return nil, nil, fmt.Errorf("%w: %v", ErrJournal, jerr)
+		}
+		r.walAppends.Add(1)
+	}
+	if r.cfg.Policy == ReprocessSync {
+		r.pending = syncPending
+		r.noteRepreprocess(syncPS)
+		if syncPS.FullRebuild {
+			r.base, r.pending = syncPre, nil
 		}
 		r.logf("live: epoch %d re-preprocessed synchronously (%s in %v)",
-			cur.Epoch+1, repairDesc(ps), ps.Elapsed)
-		next = pre
+			cur.Epoch+1, repairDesc(syncPS), syncPS.Elapsed)
+		next = syncPre
 	}
 	snap := &Snapshot{Net: next, Epoch: cur.Epoch + 1, Created: time.Now()}
 	r.cur.Store(snap)
@@ -244,7 +298,7 @@ func (r *Registry) reprocess(snap *Snapshot) {
 		r.mu.Lock()
 		base, pending := r.base, r.pending
 		r.mu.Unlock()
-		pre, ps, err := snap.Net.Repreprocess(base, pending, r.cfg.Selection, r.cfg.Options)
+		pre, ps, err := r.repreprocessGuarded(snap.Net, base, pending)
 		r.mu.Lock()
 		cur := r.cur.Load()
 		if err != nil {
@@ -277,9 +331,44 @@ func (r *Registry) reprocess(snap *Snapshot) {
 	}
 }
 
+// repreprocessGuarded runs one table repair under the RepairTimeout
+// watchdog: when the run overstays its budget its eventual result is
+// abandoned (the straggling goroutine drops its answer into a buffered
+// channel nobody reads) and a full rebuild from scratch — whose cost is
+// predictable — is started in its place.
+func (r *Registry) repreprocessGuarded(net, base *transit.Network, pending []transit.TouchedConn) (*transit.Network, *transit.PreprocessStats, error) {
+	if r.cfg.RepairTimeout <= 0 || base == nil {
+		return net.Repreprocess(base, pending, r.cfg.Selection, r.cfg.Options)
+	}
+	type result struct {
+		pre *transit.Network
+		ps  *transit.PreprocessStats
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		pre, ps, err := net.Repreprocess(base, pending, r.cfg.Selection, r.cfg.Options)
+		ch <- result{pre, ps, err}
+	}()
+	timer := time.NewTimer(r.cfg.RepairTimeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return res.pre, res.ps, res.err
+	case <-timer.C:
+		r.repairTimeouts.Add(1)
+		r.logf("live: table repair exceeded %v, abandoning it for a full rebuild", r.cfg.RepairTimeout)
+		pre, ps, err := net.Repreprocess(nil, nil, r.cfg.Selection, r.cfg.Options)
+		if err == nil {
+			ps.Fallback = "repair watchdog timeout"
+		}
+		return pre, ps, err
+	}
+}
+
 // Close stops accepting updates, stops the persistence loop (after one
-// final checkpoint), and waits for in-flight background re-preprocessing to
-// finish. Snapshots already handed out stay valid.
+// final checkpoint), waits for in-flight background re-preprocessing to
+// finish, and closes the journal. Snapshots already handed out stay valid.
 func (r *Registry) Close() {
 	r.mu.Lock()
 	if !r.closed {
@@ -290,6 +379,12 @@ func (r *Registry) Close() {
 	}
 	r.mu.Unlock()
 	r.wg.Wait()
+	// After wg.Wait the final persist checkpoint (which truncates the
+	// journal) has run, and closed=true keeps any further Apply away from
+	// the journal — safe to close it now. Idempotence: swap it out first.
+	if j := r.journal.Swap(nil); j != nil {
+		j.Close()
+	}
 }
 
 func (r *Registry) logf(format string, args ...any) {
@@ -328,6 +423,17 @@ type Metrics struct {
 	LastApply     time.Time
 	PersistsTotal uint64
 	PersistErrors uint64
+	// Write-ahead journal counters: batches appended (and fsynced) before
+	// their ack, appends that failed (the batch was rejected, not lost),
+	// batches replayed from the journal at boot, and the journal's current
+	// on-disk size (0 when no journal is attached).
+	WalAppends      uint64
+	WalAppendErrors uint64
+	WalReplayed     uint64
+	WalBytes        int64
+	// RepairTimeouts counts async repairs abandoned by the watchdog in
+	// favour of a full rebuild.
+	RepairTimeouts uint64
 }
 
 // Metrics reads the counters (wait-free).
@@ -350,7 +456,19 @@ func (r *Registry) Metrics() Metrics {
 		LastApply:         lastApply(r.lastApplyMicros.Load()),
 		PersistsTotal:     r.persists.Load(),
 		PersistErrors:     r.persistErrors.Load(),
+		WalAppends:        r.walAppends.Load(),
+		WalAppendErrors:   r.walAppendErrors.Load(),
+		WalReplayed:       r.walReplayed.Load(),
+		WalBytes:          r.journalBytes(),
+		RepairTimeouts:    r.repairTimeouts.Load(),
 	}
+}
+
+func (r *Registry) journalBytes() int64 {
+	if j := r.journal.Load(); j != nil {
+		return j.Size()
+	}
+	return 0
 }
 
 func lastApply(micros int64) time.Time {

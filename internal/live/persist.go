@@ -3,11 +3,11 @@ package live
 import (
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"time"
 
 	"transit"
+	"transit/internal/faultfs"
 )
 
 // NewRegistryAt wraps a network restored from a persisted snapshot
@@ -50,28 +50,38 @@ func persistKey(s *Snapshot) int64 {
 	return k
 }
 
-// PersistFile atomically persists the current snapshot to path (write to a
-// temporary file in the same directory, then rename). It returns the
-// persisted epoch and whether a write happened: a version already persisted
-// by a previous successful PersistFile is skipped.
+// PersistFile atomically persists the current snapshot to path: write to a
+// temporary file in the same directory, fsync, then rename — so the final
+// name only ever holds a complete, durable image. It returns the persisted
+// epoch and whether a write happened: a version already persisted by a
+// previous successful PersistFile is skipped. After a successful write the
+// attached journal (if any) is truncated through the persisted epoch — the
+// checkpoint now covers those batches.
 func (r *Registry) PersistFile(path string) (uint64, bool, error) {
 	snap := r.Snapshot()
 	key := persistKey(snap)
 	if r.persistedKey.Load() == key {
 		return snap.Epoch, false, nil
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	fsys := r.cfg.fs()
+	tmp, err := faultfs.CreateTemp(fsys, filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		r.persistErrors.Add(1)
 		return snap.Epoch, false, fmt.Errorf("live: persisting epoch %d: %w", snap.Epoch, err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer fsys.Remove(tmp.Name()) // no-op after a successful rename
 	err = snap.Net.WriteSnapshotState(tmp, transit.SnapshotState{Epoch: snap.Epoch, Created: snap.Created})
+	if err == nil {
+		// Make the image durable before it can carry the final name: a
+		// rename is metadata-only, and a crash right after it must not
+		// expose a half-written file under path.
+		err = tmp.Sync()
+	}
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmp.Name(), path)
+		err = fsys.Rename(tmp.Name(), path)
 	}
 	if err != nil {
 		r.persistErrors.Add(1)
@@ -79,13 +89,37 @@ func (r *Registry) PersistFile(path string) (uint64, bool, error) {
 	}
 	r.persistedKey.Store(key)
 	r.persists.Add(1)
+	if j := r.journal.Load(); j != nil {
+		// Failure to truncate is benign: the journal keeps batches the
+		// checkpoint already covers, and the next boot (or checkpoint)
+		// skips or drops them.
+		if terr := j.TruncateThrough(snap.Epoch); terr != nil {
+			r.logf("live: journal truncate after epoch-%d checkpoint failed: %v", snap.Epoch, terr)
+		}
+	}
 	return snap.Epoch, true, nil
+}
+
+// persistBackoff steps the retry delay after a failed checkpoint: 1s
+// doubling up to a minute, never beyond the regular interval.
+func persistBackoff(prev, interval time.Duration) time.Duration {
+	next := 2 * prev
+	if prev == 0 {
+		next = time.Second
+	}
+	if lim := min(interval, time.Minute); next > lim {
+		next = lim
+	}
+	return next
 }
 
 // StartPersist launches the background persistence loop: every interval the
 // current snapshot is written to path (atomically, skipping unchanged
 // versions), and Close performs one final persist before returning, so the
-// last applied epoch always survives a graceful shutdown. At most one loop
+// last applied epoch always survives a graceful shutdown. A failed
+// checkpoint is retried with capped exponential backoff (1s, 2s, … up to
+// min(interval, 1m)) instead of waiting out the full interval — serving
+// continues meanwhile, still durable through the journal. At most one loop
 // runs per registry; extra calls are no-ops.
 func (r *Registry) StartPersist(path string, interval time.Duration) {
 	if interval <= 0 {
@@ -102,13 +136,23 @@ func (r *Registry) StartPersist(path string, interval time.Duration) {
 	r.mu.Unlock()
 	go func() {
 		defer r.wg.Done()
-		t := time.NewTicker(interval)
-		defer t.Stop()
+		var backoff time.Duration
 		for {
+			wait := interval
+			if backoff > 0 && backoff < interval {
+				wait = backoff
+			}
+			timer := time.NewTimer(wait)
 			select {
-			case <-t.C:
-				r.persistTick(path)
+			case <-timer.C:
+				if r.persistTick(path) {
+					backoff = 0
+				} else {
+					backoff = persistBackoff(backoff, interval)
+					r.logf("live: retrying persist in %v", backoff)
+				}
 			case <-stop:
+				timer.Stop()
 				r.persistTick(path) // final checkpoint: restarts resume at the last epoch
 				return
 			}
@@ -116,13 +160,15 @@ func (r *Registry) StartPersist(path string, interval time.Duration) {
 	}()
 }
 
-func (r *Registry) persistTick(path string) {
+// persistTick runs one checkpoint attempt, reporting success.
+func (r *Registry) persistTick(path string) bool {
 	epoch, wrote, err := r.PersistFile(path)
 	if err != nil {
 		r.logf("live: persist failed: %v", err)
-		return
+		return false
 	}
 	if wrote {
 		r.logf("live: persisted epoch %d to %s", epoch, path)
 	}
+	return true
 }

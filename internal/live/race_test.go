@@ -1,0 +1,55 @@
+package live
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"transit"
+)
+
+// TestCloseRacesStartPersist hammers Registry.Close against StartPersist's
+// final checkpoint and a concurrent delay feed: whatever the interleaving,
+// Close must return with the loop stopped, the journal closed, and the
+// persist file holding a loadable snapshot (run under -race).
+func TestCloseRacesStartPersist(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "state.snap")
+		reg := NewRegistry(persistNetwork(t), Config{Policy: ServeUnpruned})
+		if _, err := reg.RecoverJournal(filepath.Join(dir, "state.wal")); err != nil {
+			t.Fatal(err)
+		}
+		reg.StartPersist(path, time.Millisecond)
+
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 20; k++ {
+				if _, _, err := reg.Apply([]transit.DelayOp{{Train: "h08", Delay: 1}}); err != nil {
+					return // ErrClosed once Close wins the race
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			time.Sleep(time.Duration(i) * 100 * time.Microsecond)
+			reg.Close()
+		}()
+		wg.Wait()
+		reg.Close() // idempotent
+
+		// The final checkpoint always runs: the file must load cleanly.
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("iter %d: no checkpoint: %v", i, err)
+		}
+		if _, _, err := transit.LoadSnapshot(f); err != nil {
+			t.Fatalf("iter %d: checkpoint corrupt: %v", i, err)
+		}
+		f.Close()
+	}
+}

@@ -40,4 +40,12 @@
 // The public entry points are transit.Network.WriteSnapshot and
 // transit.LoadSnapshot; internal/live.Registry persists its current epoch
 // through the same container.
+//
+// A persisted registry additionally keeps a journal sidecar next to the
+// snapshot file (<path>.wal, internal/wal): an append-only CRC-framed log
+// of the delay batches applied since the last checkpoint, fsynced before
+// each batch is acked and truncated after each successful checkpoint. The
+// sidecar is deliberately not a snapshot section — it must be appendable
+// and fsyncable per batch, while the container is written whole. Format
+// and recovery contract: docs/RELIABILITY.md.
 package snapshot

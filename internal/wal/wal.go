@@ -1,0 +1,322 @@
+// Package wal is the write-ahead journal for delay ingestion: an
+// append-only, CRC-framed log of DelayOp batches keyed by the epoch each
+// batch produced. live.Registry appends and fsyncs a batch *before*
+// publishing the new snapshot and acking the epoch, so a crash between
+// two persist checkpoints loses nothing — on boot the entries beyond the
+// persisted epoch are replayed on top of the persisted (or base) network.
+// After each successful persist checkpoint the journal is truncated back
+// to its header.
+//
+// On-disk layout (all integers little-endian):
+//
+//	header   magic "TPWAL\r\n" + version byte 0x01       (8 bytes)
+//	frame    u32 payload length | u32 CRC-32C of payload | payload
+//	payload  u64 epoch | u32 nops | nops × op
+//	op       u16 len(Train) | Train bytes
+//	         u32 len(Routes) | Routes as i32s
+//	         i32 WindowFrom | i32 WindowTo | i32 Delay | u8 Cancel
+//
+// A torn tail — a frame cut short or failing its CRC, as a crash mid-
+// append leaves behind — is detected on Open and truncated away; every
+// frame before it is intact by construction (each append is fsynced
+// before the batch is acked). See docs/RELIABILITY.md for the recovery
+// contract.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"transit"
+	"transit/internal/faultfs"
+)
+
+// magic identifies a journal file: name, CRLF to catch text-mode
+// corruption, and a format version byte.
+var magic = [8]byte{'T', 'P', 'W', 'A', 'L', '\r', '\n', 0x01}
+
+// maxFrame caps a single frame's payload so a corrupt length prefix
+// cannot drive a giant allocation.
+const maxFrame = 16 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrNotJournal reports a file that exists but does not start with the
+// journal magic — likely not ours, so Open refuses to touch it.
+var ErrNotJournal = errors.New("wal: not a journal file")
+
+// Entry is one journaled batch: the delay ops and the epoch applying
+// them produced.
+type Entry struct {
+	Epoch uint64
+	Ops   []transit.DelayOp
+}
+
+// Journal is an open write-ahead journal. Append and TruncateThrough are
+// safe for concurrent use with each other; Close must not race them.
+type Journal struct {
+	mu   sync.Mutex
+	f    faultfs.File
+	size int64 // current file length (all frames intact)
+	last uint64
+}
+
+// Open opens (creating if absent) the journal at path through fsys and
+// scans it, returning the journal positioned for appending plus every
+// intact entry in append order. A torn tail is truncated away; entries
+// before it are returned. The caller replays entries with Epoch beyond
+// its persisted checkpoint and then continues appending.
+func Open(fsys faultfs.FS, path string) (*Journal, []Entry, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	j, entries, err := scan(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	return j, entries, nil
+}
+
+// scan validates the header (writing a fresh one into an empty file) and
+// reads frames until EOF or the first damaged frame, truncating the file
+// at the damage.
+func scan(f faultfs.File) (*Journal, []Entry, error) {
+	var hdr [8]byte
+	n, err := io.ReadFull(f, hdr[:])
+	switch {
+	case err == io.EOF && n == 0,
+		err == io.ErrUnexpectedEOF && string(hdr[:n]) == string(magic[:n]):
+		// Fresh file — or a torn header, a crash mid-creation having
+		// committed only a prefix of the magic. (Re)stamp and sync the
+		// header before accepting appends.
+		if err := f.Truncate(0); err != nil {
+			return nil, nil, err
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, nil, err
+		}
+		if _, err := f.Write(magic[:]); err != nil {
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			return nil, nil, err
+		}
+		return &Journal{f: f, size: int64(len(magic))}, nil, nil
+	case err == io.ErrUnexpectedEOF, err == nil && hdr != magic:
+		return nil, nil, ErrNotJournal
+	case err != nil:
+		return nil, nil, err
+	}
+
+	j := &Journal{f: f, size: int64(len(magic))}
+	var entries []Entry
+	for {
+		var pre [8]byte
+		if _, err := io.ReadFull(f, pre[:]); err != nil {
+			break // EOF or torn length prefix: end of intact frames
+		}
+		length := binary.LittleEndian.Uint32(pre[0:4])
+		want := binary.LittleEndian.Uint32(pre[4:8])
+		if length == 0 || length > maxFrame {
+			break
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			break // torn payload
+		}
+		if crc32.Checksum(payload, crcTable) != want {
+			break // bit rot or torn rewrite
+		}
+		e, err := decodeEntry(payload)
+		if err != nil {
+			break
+		}
+		entries = append(entries, e)
+		j.last = e.Epoch
+		j.size += int64(8 + len(payload))
+	}
+	// Drop whatever follows the last intact frame and position for append.
+	if err := f.Truncate(j.size); err != nil {
+		return nil, nil, err
+	}
+	if _, err := f.Seek(j.size, io.SeekStart); err != nil {
+		return nil, nil, err
+	}
+	return j, entries, nil
+}
+
+// Append journals ops as the batch that produced epoch and fsyncs before
+// returning; on nil return the batch is durable. Epochs must be handed in
+// strictly increasing. On error the journal file may hold a torn frame —
+// the next Open repairs it, and the in-memory state is untouched so the
+// caller may retry.
+func (j *Journal) Append(epoch uint64, ops []transit.DelayOp) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if epoch <= j.last {
+		return fmt.Errorf("wal: epoch %d not beyond journaled %d", epoch, j.last)
+	}
+	payload := encodeEntry(Entry{Epoch: epoch, Ops: ops})
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	copy(frame[8:], payload)
+	if _, err := j.f.Write(frame); err != nil {
+		j.repair()
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		j.repair()
+		return err
+	}
+	j.size += int64(len(frame))
+	j.last = epoch
+	return nil
+}
+
+// repair cuts a torn frame left by a failed Append so a retry does not
+// interleave with its remains. Best-effort: if it fails too, the next
+// Open's scan performs the same truncation.
+func (j *Journal) repair() {
+	if j.f.Truncate(j.size) == nil {
+		j.f.Seek(j.size, io.SeekStart)
+	}
+}
+
+// TruncateThrough drops every journaled batch once epoch (the freshly
+// persisted checkpoint) covers them all. Entries are only ever dropped
+// wholesale — a journal either starts just past some checkpoint or is
+// empty — so the replay sequence stays contiguous. The journaled
+// high-water mark survives in memory: later Appends must still exceed it.
+func (j *Journal) TruncateThrough(epoch uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.size == int64(len(magic)) || j.last > epoch {
+		return nil
+	}
+	if err := j.f.Truncate(int64(len(magic))); err != nil {
+		return err
+	}
+	if _, err := j.f.Seek(int64(len(magic)), io.SeekStart); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.size = int64(len(magic))
+	return nil
+}
+
+// LastEpoch returns the highest epoch ever journaled through this handle
+// (including entries since truncated away).
+func (j *Journal) LastEpoch() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.last
+}
+
+// Size returns the current journal length in bytes (header included).
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+// Close closes the journal file. Appends already acked are durable; no
+// flush is needed here.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+func encodeEntry(e Entry) []byte {
+	n := 8 + 4
+	for _, op := range e.Ops {
+		n += 2 + len(op.Train) + 4 + 4*len(op.Routes) + 4 + 4 + 4 + 1
+	}
+	buf := make([]byte, 0, n)
+	buf = binary.LittleEndian.AppendUint64(buf, e.Epoch)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Ops)))
+	for _, op := range e.Ops {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(op.Train)))
+		buf = append(buf, op.Train...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(op.Routes)))
+		for _, r := range op.Routes {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(r)))
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(op.WindowFrom)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(op.WindowTo)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(op.Delay)))
+		var c byte
+		if op.Cancel {
+			c = 1
+		}
+		buf = append(buf, c)
+	}
+	return buf
+}
+
+var errTruncated = errors.New("wal: truncated entry")
+
+func decodeEntry(p []byte) (Entry, error) {
+	var e Entry
+	if len(p) < 12 {
+		return e, errTruncated
+	}
+	e.Epoch = binary.LittleEndian.Uint64(p[0:8])
+	nops := binary.LittleEndian.Uint32(p[8:12])
+	p = p[12:]
+	if nops > maxFrame/16 {
+		return e, errTruncated
+	}
+	e.Ops = make([]transit.DelayOp, 0, nops)
+	for i := uint32(0); i < nops; i++ {
+		var op transit.DelayOp
+		if len(p) < 2 {
+			return e, errTruncated
+		}
+		tl := int(binary.LittleEndian.Uint16(p[0:2]))
+		p = p[2:]
+		if len(p) < tl {
+			return e, errTruncated
+		}
+		op.Train = string(p[:tl])
+		p = p[tl:]
+		if len(p) < 4 {
+			return e, errTruncated
+		}
+		nr := int(binary.LittleEndian.Uint32(p[0:4]))
+		p = p[4:]
+		if nr > len(p)/4 {
+			return e, errTruncated
+		}
+		if nr > 0 {
+			op.Routes = make([]int, nr)
+			for k := 0; k < nr; k++ {
+				op.Routes[k] = int(int32(binary.LittleEndian.Uint32(p[4*k : 4*k+4])))
+			}
+			p = p[4*nr:]
+		}
+		if len(p) < 13 {
+			return e, errTruncated
+		}
+		op.WindowFrom = transit.Ticks(int32(binary.LittleEndian.Uint32(p[0:4])))
+		op.WindowTo = transit.Ticks(int32(binary.LittleEndian.Uint32(p[4:8])))
+		op.Delay = transit.Ticks(int32(binary.LittleEndian.Uint32(p[8:12])))
+		op.Cancel = p[12] != 0
+		p = p[13:]
+		e.Ops = append(e.Ops, op)
+	}
+	if len(p) != 0 {
+		return e, errTruncated
+	}
+	return e, nil
+}

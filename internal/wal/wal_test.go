@@ -1,0 +1,245 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+
+	"transit"
+	"transit/internal/faultfs"
+)
+
+func sampleOps(i int) []transit.DelayOp {
+	return []transit.DelayOp{
+		{Train: "h08", Delay: transit.Ticks(5 * (i + 1))},
+		{Routes: []int{0, i}, WindowFrom: 480, WindowTo: 600, Cancel: i%2 == 0},
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	m := faultfs.NewMem()
+	j, entries, err := Open(m, "net.wal")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("fresh journal has %d entries", len(entries))
+	}
+	want := make([]Entry, 0, 3)
+	for i := 0; i < 3; i++ {
+		e := Entry{Epoch: uint64(i + 1), Ops: sampleOps(i)}
+		if err := j.Append(e.Epoch, e.Ops); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		want = append(want, e)
+	}
+	if j.LastEpoch() != 3 {
+		t.Fatalf("LastEpoch = %d, want 3", j.LastEpoch())
+	}
+	j.Close()
+
+	_, got, err := Open(m, "net.wal")
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed entries = %+v, want %+v", got, want)
+	}
+}
+
+func TestAppendRejectsStaleEpoch(t *testing.T) {
+	m := faultfs.NewMem()
+	j, _, err := Open(m, "net.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(5, sampleOps(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(5, sampleOps(1)); err == nil {
+		t.Fatal("repeated epoch accepted")
+	}
+	if err := j.Append(4, sampleOps(1)); err == nil {
+		t.Fatal("regressing epoch accepted")
+	}
+	if err := j.Append(6, sampleOps(1)); err != nil {
+		t.Fatalf("next epoch rejected: %v", err)
+	}
+}
+
+func TestTruncateThrough(t *testing.T) {
+	m := faultfs.NewMem()
+	j, _, err := Open(m, "net.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(1); e <= 3; e++ {
+		if err := j.Append(e, sampleOps(int(e))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A checkpoint behind the journal keeps every entry: dropping a prefix
+	// would break replay contiguity.
+	if err := j.TruncateThrough(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, got, _ := Open(m, "copy-check"); len(got) != 0 {
+		t.Fatal("scratch journal not empty") // sanity on test plumbing
+	}
+	if j.Size() <= 8 {
+		t.Fatal("partial checkpoint truncated the journal")
+	}
+	// A checkpoint at (or past) the tip empties it.
+	if err := j.TruncateThrough(3); err != nil {
+		t.Fatal(err)
+	}
+	if j.Size() != 8 {
+		t.Fatalf("Size = %d after full truncate, want header only", j.Size())
+	}
+	// The high-water mark survives truncation.
+	if err := j.Append(3, sampleOps(0)); err == nil {
+		t.Fatal("epoch 3 accepted again after truncation")
+	}
+	if err := j.Append(4, sampleOps(0)); err != nil {
+		t.Fatalf("Append after truncate: %v", err)
+	}
+	j.Close()
+	_, got, err := Open(m, "net.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Epoch != 4 {
+		t.Fatalf("entries after truncate+append = %+v, want just epoch 4", got)
+	}
+}
+
+func TestTornTailRepairedOnOpen(t *testing.T) {
+	m := faultfs.NewMem()
+	j, _, err := Open(m, "net.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(1, sampleOps(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(2, sampleOps(1)); err != nil {
+		t.Fatal(err)
+	}
+	intact := j.Size()
+	j.Close()
+
+	// Simulate a crash mid-append: garbage bytes after the intact frames.
+	f, err := m.OpenFile("net.wal", os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Seek(0, 2)
+	f.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0x01})
+	f.Sync()
+	f.Close()
+
+	j2, entries, err := Open(m, "net.wal")
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	if len(entries) != 2 || entries[1].Epoch != 2 {
+		t.Fatalf("entries = %+v, want the two intact batches", entries)
+	}
+	if j2.Size() != intact {
+		t.Fatalf("Size = %d, want %d (tail cut)", j2.Size(), intact)
+	}
+	// Appending continues cleanly after repair.
+	if err := j2.Append(3, sampleOps(2)); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	if _, entries, _ = Open(m, "net.wal"); len(entries) != 3 {
+		t.Fatalf("after repair+append: %d entries, want 3", len(entries))
+	}
+}
+
+func TestCorruptFrameCutsReplay(t *testing.T) {
+	m := faultfs.NewMem()
+	j, _, err := Open(m, "net.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(1, sampleOps(0))
+	j.Append(2, sampleOps(1))
+	j.Close()
+
+	// Flip a byte inside the second frame's payload.
+	data, _ := faultfs.ReadFile(m, "net.wal")
+	data[len(data)-2] ^= 0xff
+	faultfs.WriteFile(m, "net.wal", data, 0o644)
+
+	_, entries, err := Open(m, "net.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Epoch != 1 {
+		t.Fatalf("entries = %+v, want only the intact first batch", entries)
+	}
+}
+
+func TestOpenRejectsForeignFile(t *testing.T) {
+	m := faultfs.NewMem()
+	faultfs.WriteFile(m, "net.wal", []byte("not a journal at all"), 0o644)
+	if _, _, err := Open(m, "net.wal"); !errors.Is(err, ErrNotJournal) {
+		t.Fatalf("err = %v, want ErrNotJournal", err)
+	}
+}
+
+func TestAppendFaultThenRetry(t *testing.T) {
+	// Every injected failure mode of a single append must leave the
+	// journal retryable and the on-disk state recoverable.
+	m := faultfs.NewMem()
+	j, _, err := Open(m, "net.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(1, sampleOps(0)); err != nil {
+		t.Fatal(err)
+	}
+	// One append = write + sync (+ best-effort repair ops on failure).
+	for step := 1; step <= 2; step++ {
+		m.SetPlan(faultfs.Plan{FailStep: step})
+		if err := j.Append(2, sampleOps(1)); err == nil {
+			t.Fatalf("step %d: injected failure not surfaced", step)
+		}
+		m.SetPlan(faultfs.Plan{})
+		if err := j.Append(2, sampleOps(1)); err != nil {
+			t.Fatalf("step %d: retry failed: %v", step, err)
+		}
+		// Reset for the next iteration: reopen fresh state.
+		if step == 1 {
+			j.Close()
+			var entries []Entry
+			j, entries, err = Open(m, "net.wal")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(entries) != 2 {
+				t.Fatalf("step %d: %d entries after retry, want 2", step, len(entries))
+			}
+			if err := j.TruncateThrough(2); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Append(3, nil); err != nil { // placeholder so epochs advance
+				t.Fatal(err)
+			}
+			// Rebuild baseline: start over with epochs 1,2 expectations met.
+			j.Close()
+			m = faultfs.NewMem()
+			j, _, err = Open(m, "net.wal")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Append(1, sampleOps(0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	j.Close()
+}
