@@ -480,6 +480,10 @@ func HTTPStatus(code transit.ErrorCode) int {
 		// Shed by admission control; the response carries a Retry-After
 		// back-off hint.
 		return 429
+	case transit.CodeReadOnly:
+		// A write addressed to a replica; the response's Location header
+		// names the updater that accepts it.
+		return 403
 	case transit.CodeInternal:
 		return 500
 	default:
@@ -489,11 +493,44 @@ func HTTPStatus(code transit.ErrorCode) int {
 
 // HealthResponse is the body of the GET /readyz readiness probe. Status is
 // "ready" while the instance should receive traffic, "starting" before the
-// listener is up, "draining" once shutdown began; Epoch is the default
-// network's serving epoch, present only when ready.
+// listener is up, "draining" once shutdown began, and "syncing" on a
+// replica still catching up with its updater (more than -sync-lag epochs
+// behind, or not yet connected); Epoch is the default network's serving
+// epoch, present only when ready. LagEpochs accompanies "syncing" with how
+// far behind the replica knows itself to be.
 type HealthResponse struct {
-	Status string `json:"status"`
-	Epoch  uint64 `json:"epoch,omitempty"`
+	Status    string `json:"status"`
+	Epoch     uint64 `json:"epoch,omitempty"`
+	LagEpochs uint64 `json:"lag_epochs,omitempty"`
+}
+
+// ReplicationStatus is the body of GET /v1/replication/status, served by
+// both replication roles. Role is "updater" or "replica"; Epoch is the
+// local serving epoch. The remaining fields describe one side each and are
+// zero on the other.
+type ReplicationStatus struct {
+	Role  string `json:"role"`
+	Epoch uint64 `json:"epoch"`
+
+	// Updater side: connected stream subscribers, the oldest epoch a
+	// stream can resume from (below it a follower is sent to the full
+	// snapshot), and the cumulative deltas/snapshots served.
+	Subscribers     int    `json:"subscribers,omitempty"`
+	RetainedFloor   uint64 `json:"retained_floor,omitempty"`
+	DeltasSent      uint64 `json:"deltas_sent,omitempty"`
+	SnapshotsServed uint64 `json:"snapshots_served,omitempty"`
+
+	// Replica side: the updater it follows, how far behind it is (valid
+	// only once LagKnown — a replica that never reached its updater cannot
+	// claim a lag), and the cumulative deltas applied, stream reconnects,
+	// full-snapshot resyncs, and detected divergences.
+	UpdaterURL      string `json:"updater_url,omitempty"`
+	LagEpochs       uint64 `json:"lag_epochs,omitempty"`
+	LagKnown        bool   `json:"lag_known,omitempty"`
+	DeltasApplied   uint64 `json:"deltas_applied,omitempty"`
+	Reconnects      uint64 `json:"reconnects,omitempty"`
+	SnapshotFetches uint64 `json:"snapshot_fetches,omitempty"`
+	Divergences     uint64 `json:"divergences,omitempty"`
 }
 
 // NetworkInfo describes one network of a multi-tenant catalog server, as

@@ -53,6 +53,19 @@ func (s *server) readyz(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode(resp)
 		return
 	}
+	if s.follower != nil {
+		// A replica is ready only once it is near the updater's epoch: a
+		// load balancer must not route queries to a node serving last
+		// hour's timetable. Lag is unknown until the first hello frame —
+		// a replica that never reached its updater stays syncing.
+		if lag, known := s.follower.Lag(); !known || lag > s.syncLag {
+			resp.Status = "syncing"
+			resp.LagEpochs = lag
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(resp)
+			return
+		}
+	}
 	resp.Epoch = s.defaultLive().Epoch
 	json.NewEncoder(w).Encode(resp)
 }

@@ -108,6 +108,7 @@ import (
 	"transit/internal/admit"
 	"transit/internal/catalog"
 	"transit/internal/live"
+	"transit/internal/replica"
 )
 
 type server struct {
@@ -161,6 +162,18 @@ type server struct {
 	obs       *serverObs
 	logger    *slog.Logger
 	slowQuery time.Duration
+
+	// Replication role (docs/REPLICATION.md). Exactly one of pub/follower
+	// is set outside catalog mode: pub publishes epoch deltas to replicas
+	// (updater, the default single-network role), follower applies the
+	// stream from the updater at followURL and makes this instance
+	// read-only. syncLag is the -sync-lag readiness threshold: /readyz
+	// reports "syncing" until the follower is within that many epochs of
+	// its updater.
+	pub       *replica.Publisher
+	follower  *replica.Follower
+	followURL string
+	syncLag   uint64
 }
 
 // defaultQueryTimeout is the per-request deadline applied when the
@@ -231,6 +244,7 @@ func (s *server) count(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 func newMux(s *server) *http.ServeMux {
 	mux := http.NewServeMux()
 	registerV1(mux, s)
+	registerReplication(mux, s)
 	mux.HandleFunc("GET /stations", s.count("stations", deprecated("/v1/stations", s.stations)))
 	mux.HandleFunc("GET /arrival", s.count("arrival", deprecated("/v1/arrival", s.arrival)))
 	mux.HandleFunc("GET /profile", s.count("profile", deprecated("/v1/profile", s.profile)))
@@ -287,6 +301,14 @@ func main() {
 		"persist each tenant's delay epoch to <catalog-persist-dir>/<name>.live.snap")
 	catalogPersistDir := flag.String("catalog-persist-dir", "",
 		"directory for per-tenant persistence files (default: the catalog directory)")
+	role := flag.String("role", "",
+		"replication role: updater or replica (default: updater, or replica when -follow is set; docs/REPLICATION.md)")
+	follow := flag.String("follow", "",
+		"updater base URL to follow as a read-only query replica (e.g. http://updater:8080)")
+	replicationRetain := flag.Int("replication-retain", replica.DefaultRetain,
+		"delta epochs the updater retains for reconnecting replicas; a replica further behind re-fetches the full snapshot")
+	syncLag := flag.Uint64("sync-lag", 8,
+		"replica readiness threshold: /readyz reports syncing until within this many epochs of the updater")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat)
@@ -316,6 +338,29 @@ func main() {
 	policy, err := live.ParsePolicy(*repreprocess)
 	if err != nil {
 		fatal("bad -repreprocess", "err", err)
+	}
+	switch *role {
+	case "", "updater", "replica":
+	default:
+		fatal("bad -role", "role", *role, "want", "updater or replica")
+	}
+	if *role == "updater" && *follow != "" {
+		fatal("-role updater is exclusive with -follow (an updater is the node replicas follow)")
+	}
+	if *role == "replica" && *follow == "" {
+		fatal("-role replica requires -follow <updater-url>")
+	}
+	if *catalogDir != "" && (*follow != "" || *role != "") {
+		// Replication follows exactly one network's epoch sequence; the
+		// multi-tenant catalog has many. Refuse loudly rather than follow
+		// one tenant and silently serve stale answers for the rest.
+		fatal("-catalog cannot be combined with -follow or -role: replication is single-network only (docs/REPLICATION.md)")
+	}
+	if *follow != "" && (*netFile != "" || *gtfsDir != "" || *family != "") {
+		// A replica's state must be byte-identical to the updater's, which
+		// only a snapshot lineage guarantees — not an independent load of
+		// the source timetable.
+		fatal("-follow is exclusive with -net, -gtfs and -generate: a replica boots from -snapshot, its -persist file, or the updater's snapshot endpoint")
 	}
 	if *catalogDir != "" {
 		// Multi-tenant catalog mode: the single-network source flags are
@@ -397,6 +442,18 @@ func main() {
 			fatal("snapshot load failed", "err", err)
 		}
 		logger.Info("loaded snapshot", "path", *snapFile, "epoch", state.Epoch, "network", n.Stats())
+	case *follow != "":
+		// Cold replica boot: no local state, so the updater's snapshot
+		// endpoint is the source of truth.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		net, st, err := replica.FetchSnapshot(ctx, nil, *follow)
+		cancel()
+		if err != nil {
+			fatal("cold boot from updater snapshot failed", "updater", *follow, "err", err)
+		}
+		n, state = net, *st
+		logger.Info("cold-booted from updater snapshot", "updater", *follow,
+			"epoch", state.Epoch, "network", n.Stats())
 	default:
 		var err error
 		n, err = load(*netFile, *gtfsDir, *family, *scale)
@@ -425,7 +482,7 @@ func main() {
 		// preprocessing work with -preprocess 0).
 		policy = live.ServeUnpruned
 	}
-	reg := live.NewRegistryAt(n, state, live.Config{
+	lcfg := live.Config{
 		Policy:        policy,
 		Selection:     sel,
 		Options:       transit.Options{Threads: *threads},
@@ -433,7 +490,21 @@ func main() {
 		Logf: func(format string, args ...any) {
 			logger.Info(fmt.Sprintf(format, args...))
 		},
-	})
+	}
+	var pub *replica.Publisher
+	if *follow == "" {
+		// Updater role (the default): publish every applied batch as an
+		// epoch delta. Created before journal recovery so the replayed
+		// tail seeds the retention ring — replicas restarted alongside the
+		// updater resume from the stream, not the snapshot.
+		pub = replica.NewPublisher(state.Epoch, *replicationRetain)
+		pub.Logf = lcfg.Logf
+		lcfg.OnApply = pub.Publish
+	}
+	reg := live.NewRegistryAt(n, state, lcfg)
+	if pub != nil {
+		pub.Snapshot = reg.Persist
+	}
 	if *persistPath != "" {
 		if *walEnabled {
 			// Replay acked-but-unpersisted batches on top of the checkpoint,
@@ -451,7 +522,24 @@ func main() {
 		reg.StartPersist(*persistPath, *persistInterval)
 	}
 	s := newServer(reg, *threads)
-	logger.Info("ready", "startup", time.Since(start).Round(time.Millisecond), "epoch", reg.Snapshot().Epoch)
+	s.pub = pub
+	if *follow != "" {
+		s.followURL = *follow
+		s.syncLag = *syncLag
+		s.follower = replica.NewFollower(replica.FollowerConfig{
+			Registry: reg,
+			BaseURL:  *follow,
+			Logf:     lcfg.Logf,
+		})
+		s.follower.Start()
+		logger.Info("following updater", "updater", *follow, "sync_lag", *syncLag)
+	}
+	roleName := "updater"
+	if s.follower != nil {
+		roleName = "replica"
+	}
+	logger.Info("ready", "startup", time.Since(start).Round(time.Millisecond),
+		"epoch", reg.Snapshot().Epoch, "role", roleName)
 	serve(s, logger, fatal, serveConfig{
 		queryTimeout: *queryTimeout, slowQuery: *slowQuery,
 		maxInflight: *maxInflight, queueDeadline: *queueDeadline,
@@ -518,6 +606,10 @@ func serve(s *server, logger *slog.Logger, fatal func(string, ...any), cfg serve
 		// in-flight queries below still complete.
 		s.ready.Store(readyDraining)
 		logger.Info("shutting down: draining in-flight queries", "budget", cfg.shutdownTimeout)
+		// Replication streams are unbounded responses Shutdown would wait
+		// out in full: close them first so replicas reconnect elsewhere
+		// (or to our successor) while queries drain.
+		s.pub.Close()
 		sctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
@@ -529,6 +621,9 @@ func serve(s *server, logger *slog.Logger, fatal func(string, ...any), cfg serve
 			logger.Warn("admission drain incomplete", "err", err)
 		}
 		s.gate.Close()
+		// Stop following before the registry goes away: the follower's
+		// Apply path must not race Close's final checkpoint.
+		s.follower.Stop()
 		// Close every resident tenant: waits for background re-preprocessing
 		// and writes each tenant's final persist checkpoint.
 		s.cat.Close()
@@ -797,6 +892,16 @@ type delayOpJSON struct {
 }
 
 func (s *server) delays(w http.ResponseWriter, r *http.Request) {
+	if s.follower != nil {
+		// Replicas are read-only: the delay feed belongs on the updater,
+		// whose URL travels in the Location header as a redirect hint.
+		w.Header().Set("Location", s.followURL+"/delays")
+		s.v1Error(w, &transit.Error{
+			Code:    transit.CodeReadOnly,
+			Message: "replica is read-only; POST delay batches to the updater at " + s.followURL,
+		})
+		return
+	}
 	h, err := s.acquire(r)
 	if err != nil {
 		s.legacyError(w, err)

@@ -154,6 +154,30 @@ func newServerObs(s *server) *serverObs {
 		func() float64 { return float64(s.cache.Stats().Entries) })
 	r.Gauge("tpserver_cache_bytes", "Approximate result bytes stored in the cache.",
 		func() float64 { return float64(s.cache.Stats().Bytes) })
+	// Replication series (docs/REPLICATION.md). Registered unconditionally
+	// — the accessors are nil-safe and report zero on a server with no
+	// replication role — so dashboards can use one query across the fleet.
+	r.Gauge("tpserver_replication_lag_epochs",
+		"Epochs this replica trails its updater (0 on an updater or while the lag is unknown; see /readyz for syncing).",
+		func() float64 { lag, _ := s.follower.Lag(); return float64(lag) })
+	r.Gauge("tpserver_replication_connected_replicas",
+		"Stream subscribers currently connected to this updater.",
+		func() float64 { return float64(s.pub.Subscribers()) })
+	r.Counter("tpserver_replication_deltas_sent_total",
+		"Epoch deltas written to replica streams (backlog replays included).",
+		func() float64 { return float64(s.pub.DeltasSent()) })
+	r.Counter("tpserver_replication_deltas_applied_total",
+		"Stream deltas this replica applied locally.",
+		func() float64 { return float64(s.follower.DeltasApplied()) })
+	r.Counter("tpserver_replication_snapshot_fetches_total",
+		"Full-snapshot transfers: served to replicas (updater) or fetched for cold boot/resync (replica).",
+		func() float64 { return float64(s.pub.SnapshotsServed() + s.follower.SnapshotFetches()) })
+	r.Counter("tpserver_replication_reconnects_total",
+		"Times this replica re-established its stream after a break.",
+		func() float64 { return float64(s.follower.Reconnects()) })
+	r.Counter("tpserver_replication_divergences_total",
+		"Deltas whose touched-set disagreed with the local apply; each one forced a full resync.",
+		func() float64 { return float64(s.follower.Divergences()) })
 	r.Counter("tpserver_workspace_pool_gets_total", "Search workspaces checked out of the pool.",
 		func() float64 { gets, _ := core.PoolStats(); return float64(gets) })
 	r.Counter("tpserver_workspace_pool_puts_total", "Search workspaces returned to the pool.",

@@ -1,0 +1,52 @@
+// Replication routes — the HTTP surface of the updater/replica split
+// (docs/REPLICATION.md). An updater serves the delta stream and the full
+// snapshot; both roles serve a status document. A server with no
+// replication role (catalog mode) registers none of these.
+package main
+
+import (
+	"net/http"
+
+	apiv1 "transit/api/v1"
+)
+
+// registerReplication registers the replication endpoints the server's
+// role calls for.
+func registerReplication(mux *http.ServeMux, s *server) {
+	if s.pub != nil {
+		// The stream endpoint deliberately skips the admission gate and
+		// cache: it is not query work, it is one long-lived response per
+		// replica, bounded by the subscriber buffer rather than a slot.
+		mux.HandleFunc("GET /v1/replication/stream", s.count("replication_stream", s.pub.ServeStream))
+		mux.HandleFunc("GET /v1/replication/snapshot", s.count("replication_snapshot", s.pub.ServeSnapshot))
+	}
+	if s.pub != nil || s.follower != nil {
+		mux.HandleFunc("GET /v1/replication/status", s.count("replication_status", s.replicationStatus))
+	}
+}
+
+// replicationStatus serves GET /v1/replication/status for either role.
+func (s *server) replicationStatus(w http.ResponseWriter, r *http.Request) {
+	resp := s.replicationStatusBody()
+	writeJSON(w, resp)
+}
+
+func (s *server) replicationStatusBody() apiv1.ReplicationStatus {
+	st := apiv1.ReplicationStatus{Epoch: s.defaultLive().Epoch}
+	if s.follower != nil {
+		st.Role = "replica"
+		st.UpdaterURL = s.followURL
+		st.LagEpochs, st.LagKnown = s.follower.Lag()
+		st.DeltasApplied = s.follower.DeltasApplied()
+		st.Reconnects = s.follower.Reconnects()
+		st.SnapshotFetches = s.follower.SnapshotFetches()
+		st.Divergences = s.follower.Divergences()
+		return st
+	}
+	st.Role = "updater"
+	st.Subscribers = s.pub.Subscribers()
+	st.RetainedFloor = s.pub.Floor()
+	st.DeltasSent = s.pub.DeltasSent()
+	st.SnapshotsServed = s.pub.SnapshotsServed()
+	return st
+}

@@ -52,6 +52,10 @@ const (
 	// serving catalog does not carry (produced by the multi-tenant server,
 	// which routes /v1/{network}/... by name).
 	CodeUnknownNetwork ErrorCode = "unknown_network"
+	// CodeReadOnly marks a write (a POST /delays batch) addressed to a
+	// read-only replica. Delay batches belong on the updater; the HTTP
+	// response carries its URL in a Location header.
+	CodeReadOnly ErrorCode = "read_only"
 	// CodeInternal marks everything else.
 	CodeInternal ErrorCode = "internal"
 )

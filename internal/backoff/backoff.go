@@ -1,0 +1,89 @@
+// Package backoff is the repo's one capped-exponential-backoff-with-jitter
+// helper, shared by the persistence retry loop (internal/live) and the
+// replication follower's stream reconnects (internal/replica). Keeping the
+// arithmetic in one unit-tested place means every retry loop in the system
+// has the same provable bounds: delays never exceed Max, never fall below
+// (1−Jitter)·step, and double deterministically when Jitter is zero.
+package backoff
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Policy describes a retry schedule: Base doubling per attempt up to Max,
+// with each delay jittered down by up to Jitter (a fraction in [0, 1]) to
+// de-synchronize fleets of retriers — a restarted updater must not be hit
+// by every replica's reconnect in the same instant.
+type Policy struct {
+	// Base is the first delay. Zero defaults to one second.
+	Base time.Duration
+	// Max caps the delay. Zero (or a value below Base) caps at Base.
+	Max time.Duration
+	// Jitter is the fraction of each delay randomized away: the returned
+	// delay is uniform in [(1−Jitter)·d, d]. Zero means deterministic.
+	Jitter float64
+}
+
+// withDefaults normalizes the zero values.
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = time.Second
+	}
+	if p.Max < p.Base {
+		p.Max = p.Base
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// step is the undithered delay of attempt n (0-based): min(Base·2ⁿ, Max),
+// overflow-safe.
+func (p Policy) step(n int) time.Duration {
+	d := p.Base
+	for i := 0; i < n; i++ {
+		d *= 2
+		if d >= p.Max || d <= 0 { // cap, or shift overflowed
+			return p.Max
+		}
+	}
+	return min(d, p.Max)
+}
+
+// Backoff steps through a Policy. Not safe for concurrent use; every retry
+// loop owns one.
+type Backoff struct {
+	p Policy
+	n int
+}
+
+// New returns a Backoff at attempt zero.
+func New(p Policy) *Backoff {
+	return &Backoff{p: p.withDefaults()}
+}
+
+// Next returns the delay to wait before the next attempt and advances the
+// schedule. With Jitter J the result is uniform in [(1−J)·step, step];
+// with J = 0 it is exactly the capped-exponential step.
+func (b *Backoff) Next() time.Duration {
+	d := b.p.step(b.n)
+	b.n++
+	if b.p.Jitter > 0 {
+		cut := time.Duration(b.p.Jitter * rand.Float64() * float64(d))
+		d -= cut
+	}
+	return d
+}
+
+// Reset rewinds the schedule to the first attempt — call after a success,
+// so the next failure starts over at Base.
+func (b *Backoff) Reset() { b.n = 0 }
+
+// Attempts reports how many delays Next has handed out since the last
+// Reset.
+func (b *Backoff) Attempts() int { return b.n }

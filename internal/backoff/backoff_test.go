@@ -1,0 +1,84 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+// Without jitter the schedule is the exact capped exponential: Base, 2·Base,
+// 4·Base, …, Max, Max, …
+func TestDeterministicSchedule(t *testing.T) {
+	b := New(Policy{Base: 100 * time.Millisecond, Max: time.Second})
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second,
+		time.Second,
+	}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Fatalf("attempt %d: got %v, want %v", i, got, w)
+		}
+	}
+	if b.Attempts() != len(want) {
+		t.Fatalf("Attempts() = %d, want %d", b.Attempts(), len(want))
+	}
+	b.Reset()
+	if got := b.Next(); got != 100*time.Millisecond {
+		t.Fatalf("after Reset: got %v, want Base", got)
+	}
+}
+
+// With jitter J every delay must stay within [(1−J)·step, step], and the
+// step itself must never exceed Max.
+func TestJitterBounds(t *testing.T) {
+	p := Policy{Base: 50 * time.Millisecond, Max: 2 * time.Second, Jitter: 0.5}
+	b := New(p)
+	for i := 0; i < 200; i++ {
+		step := p.step(i)
+		if step > p.Max {
+			t.Fatalf("attempt %d: step %v exceeds Max %v", i, step, p.Max)
+		}
+		d := b.Next()
+		lo := time.Duration((1 - p.Jitter) * float64(step))
+		if d < lo || d > step {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", i, d, lo, step)
+		}
+	}
+}
+
+// Zero values normalize to something sane rather than a busy-loop.
+func TestZeroPolicyDefaults(t *testing.T) {
+	b := New(Policy{})
+	for i := 0; i < 5; i++ {
+		if got := b.Next(); got != time.Second {
+			t.Fatalf("attempt %d: got %v, want 1s default", i, got)
+		}
+	}
+}
+
+// Max below Base caps at Base; out-of-range Jitter is clamped.
+func TestNormalization(t *testing.T) {
+	b := New(Policy{Base: time.Minute, Max: time.Second})
+	if got := b.Next(); got != time.Minute {
+		t.Fatalf("Max<Base: got %v, want Base", got)
+	}
+	b = New(Policy{Base: time.Second, Max: time.Second, Jitter: 7})
+	for i := 0; i < 50; i++ {
+		if d := b.Next(); d < 0 || d > time.Second {
+			t.Fatalf("clamped jitter: delay %v outside [0, 1s]", d)
+		}
+	}
+}
+
+// Deep attempt counts must not overflow into negative delays.
+func TestOverflowSafety(t *testing.T) {
+	p := Policy{Base: time.Second, Max: time.Hour}.withDefaults()
+	for i := 0; i < 128; i++ {
+		if d := p.step(i); d <= 0 || d > time.Hour {
+			t.Fatalf("attempt %d: step %v out of range", i, d)
+		}
+	}
+}

@@ -91,6 +91,13 @@ type Config struct {
 	// so a pathological repair cannot wedge the background loop. Zero
 	// disables the watchdog.
 	RepairTimeout time.Duration
+	// OnApply, when set, observes every epoch-advancing batch right after
+	// its snapshot swap: the new epoch, the ops that produced it, and the
+	// touched connections. Called under the registry's apply lock — epochs
+	// arrive strictly increasing and never concurrently — including during
+	// journal replay at boot, so an observer (the replication publisher)
+	// sees the journal's tail too. Must not call back into the registry.
+	OnApply func(epoch uint64, ops []transit.DelayOp, touched []transit.TouchedConn)
 }
 
 // fs returns the configured filesystem, defaulting to the real disk.
@@ -246,6 +253,9 @@ func (r *Registry) Apply(ops []transit.DelayOp) (*Snapshot, *transit.UpdateStats
 	r.connsRetimed.Add(uint64(st.ConnsRetimed))
 	r.connsCancelled.Add(uint64(st.ConnsCancelled))
 	r.lastUpdateMicros.Store(time.Since(start).Microseconds())
+	if r.cfg.OnApply != nil {
+		r.cfg.OnApply(snap.Epoch, ops, st.Touched)
+	}
 	if r.cfg.Policy == ReprocessAsync {
 		r.pending = transit.MergeTouched(r.pending, st.Touched)
 		if !r.rebuilding {
@@ -364,6 +374,34 @@ func (r *Registry) repreprocessGuarded(net, base *transit.Network, pending []tra
 		}
 		return pre, ps, err
 	}
+}
+
+// Install replaces the current snapshot wholesale with a network restored
+// from a full snapshot image — a replica resyncing after falling beyond the
+// updater's delta retention. The installed epoch must not move backwards:
+// readers already saw the current one. The incremental-repair state is
+// reset (the new network's own table, if repairable, seeds it), and the
+// OnApply hook is NOT fired — observers stream deltas, and a wholesale
+// swap is not a delta.
+func (r *Registry) Install(net *transit.Network, st transit.SnapshotState) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	cur := r.cur.Load()
+	if st.Epoch < cur.Epoch {
+		return fmt.Errorf("live: install would rewind epoch %d to %d", cur.Epoch, st.Epoch)
+	}
+	created := st.Created
+	if created.IsZero() {
+		created = time.Now()
+	}
+	r.cur.Store(&Snapshot{Net: net, Epoch: st.Epoch, Created: created})
+	r.lastApplyMicros.Store(created.UnixMicro())
+	r.base, r.pending = nil, nil
+	r.initBase(net)
+	return nil
 }
 
 // Close stops accepting updates, stops the persistence loop (after one

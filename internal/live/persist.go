@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"transit"
+	"transit/internal/backoff"
 	"transit/internal/faultfs"
 )
 
@@ -100,19 +101,6 @@ func (r *Registry) PersistFile(path string) (uint64, bool, error) {
 	return snap.Epoch, true, nil
 }
 
-// persistBackoff steps the retry delay after a failed checkpoint: 1s
-// doubling up to a minute, never beyond the regular interval.
-func persistBackoff(prev, interval time.Duration) time.Duration {
-	next := 2 * prev
-	if prev == 0 {
-		next = time.Second
-	}
-	if lim := min(interval, time.Minute); next > lim {
-		next = lim
-	}
-	return next
-}
-
 // StartPersist launches the background persistence loop: every interval the
 // current snapshot is written to path (atomically, skipping unchanged
 // versions), and Close performs one final persist before returning, so the
@@ -136,20 +124,25 @@ func (r *Registry) StartPersist(path string, interval time.Duration) {
 	r.mu.Unlock()
 	go func() {
 		defer r.wg.Done()
-		var backoff time.Duration
+		// Retry schedule after a failed checkpoint: 1s doubling up to a
+		// minute, never beyond the regular interval. No jitter — one loop
+		// per process, nothing to de-synchronize.
+		retry := backoff.New(backoff.Policy{Base: time.Second, Max: min(interval, time.Minute)})
+		var pending time.Duration // next retry delay; 0 = on the regular cadence
 		for {
 			wait := interval
-			if backoff > 0 && backoff < interval {
-				wait = backoff
+			if pending > 0 && pending < interval {
+				wait = pending
 			}
 			timer := time.NewTimer(wait)
 			select {
 			case <-timer.C:
 				if r.persistTick(path) {
-					backoff = 0
+					retry.Reset()
+					pending = 0
 				} else {
-					backoff = persistBackoff(backoff, interval)
-					r.logf("live: retrying persist in %v", backoff)
+					pending = retry.Next()
+					r.logf("live: retrying persist in %v", pending)
 				}
 			case <-stop:
 				timer.Stop()

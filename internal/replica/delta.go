@@ -1,0 +1,111 @@
+package replica
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"transit"
+	"transit/internal/wal"
+)
+
+// wireVersion is the replication stream format version, carried in the
+// hello frame. A follower refuses a version it does not speak rather than
+// misparsing deltas.
+const wireVersion = 1
+
+// Frame type bytes — the first byte of every stream frame payload.
+const (
+	frameHello byte = 0 // [version u8][updater's current epoch u64]
+	frameDelta byte = 1 // wal entry (epoch + ops) ++ touched block
+)
+
+// Delta is one epoch advance: the op batch that produced it plus the
+// touched-connection set the updater computed applying it. The touched set
+// doubles as a divergence detector — a follower applying the same ops to
+// the same predecessor must compute the identical set, so a mismatch means
+// its state has drifted and a full resync is due.
+type Delta struct {
+	Epoch   uint64
+	Ops     []transit.DelayOp
+	Touched []transit.TouchedConn
+}
+
+// encodeHello builds the hello frame payload announcing the updater's
+// current epoch, sent once at the head of every stream connection.
+func encodeHello(epoch uint64) []byte {
+	buf := make([]byte, 0, 2+8)
+	buf = append(buf, frameHello, wireVersion)
+	return binary.LittleEndian.AppendUint64(buf, epoch)
+}
+
+// decodeHello parses a hello frame payload (type byte already verified).
+func decodeHello(p []byte) (epoch uint64, err error) {
+	if len(p) != 10 {
+		return 0, fmt.Errorf("replica: hello frame is %d bytes, want 10", len(p))
+	}
+	if p[1] != wireVersion {
+		return 0, fmt.Errorf("replica: stream speaks wire version %d, this build speaks %d", p[1], wireVersion)
+	}
+	return binary.LittleEndian.Uint64(p[2:10]), nil
+}
+
+// encodeDelta builds a delta frame payload: the type byte, the batch in the
+// journal's entry encoding (the replica's stream reader and the journal's
+// crash-recovery scan share the codec), then the touched block:
+//
+//	u32 ntouched | ntouched × (u32 conn | u32 train | u32 route | u32 from |
+//	                           i32 oldDep | i32 newDep | u8 cancelled)
+func encodeDelta(d Delta) []byte {
+	entry := wal.EncodeEntry(wal.Entry{Epoch: d.Epoch, Ops: d.Ops})
+	buf := make([]byte, 0, 1+len(entry)+4+25*len(d.Touched))
+	buf = append(buf, frameDelta)
+	buf = append(buf, entry...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(d.Touched)))
+	for _, t := range d.Touched {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(t.Conn)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(t.Train)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(t.Route)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(t.From)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(t.OldDep)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(t.NewDep)))
+		var c byte
+		if t.Cancelled {
+			c = 1
+		}
+		buf = append(buf, c)
+	}
+	return buf
+}
+
+// decodeDelta parses a delta frame payload (type byte already verified).
+func decodeDelta(p []byte) (Delta, error) {
+	e, rest, err := wal.DecodeEntryPrefix(p[1:])
+	if err != nil {
+		return Delta{}, fmt.Errorf("replica: delta frame: %w", err)
+	}
+	d := Delta{Epoch: e.Epoch, Ops: e.Ops}
+	if len(rest) < 4 {
+		return Delta{}, fmt.Errorf("replica: delta frame: touched block truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(rest[0:4]))
+	rest = rest[4:]
+	if n > len(rest)/25 || len(rest) != 25*n {
+		return Delta{}, fmt.Errorf("replica: delta frame: touched block is %d bytes for %d entries", len(rest), n)
+	}
+	if n > 0 {
+		d.Touched = make([]transit.TouchedConn, n)
+		for i := range d.Touched {
+			b := rest[25*i:]
+			d.Touched[i] = transit.TouchedConn{
+				Conn:      int(int32(binary.LittleEndian.Uint32(b[0:4]))),
+				Train:     int(int32(binary.LittleEndian.Uint32(b[4:8]))),
+				Route:     int(int32(binary.LittleEndian.Uint32(b[8:12]))),
+				From:      transit.StationID(int32(binary.LittleEndian.Uint32(b[12:16]))),
+				OldDep:    transit.Ticks(int32(binary.LittleEndian.Uint32(b[16:20]))),
+				NewDep:    transit.Ticks(int32(binary.LittleEndian.Uint32(b[20:24]))),
+				Cancelled: b[24] != 0,
+			}
+		}
+	}
+	return d, nil
+}

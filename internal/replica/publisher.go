@@ -1,0 +1,288 @@
+package replica
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"transit"
+	"transit/internal/wal"
+)
+
+// subBuffer is each subscriber's delta channel depth. A subscriber that
+// falls this many deltas behind the publisher is disconnected (its channel
+// closed) rather than back-pressuring Apply; it reconnects and replays the
+// gap from the retention ring.
+const subBuffer = 64
+
+// DefaultRetain is the default delta retention: how many epochs back a
+// reconnecting follower can resume from the ring before being sent to the
+// full snapshot (410 Gone).
+const DefaultRetain = 1024
+
+// Publisher is the updater side of replication: it retains the last N
+// epoch deltas in a ring and fans each new one out to the connected stream
+// subscribers. Publish is called from live.Registry's OnApply hook — under
+// the apply lock, strictly increasing epochs — including during journal
+// replay at boot, which seeds the ring with the journal's tail so replicas
+// restarted alongside the updater can resume without a snapshot fetch.
+type Publisher struct {
+	// Snapshot, when set, serves GET /v1/replication/snapshot: it writes
+	// the current full snapshot image and returns its epoch. Wired to
+	// live.Registry.Persist.
+	Snapshot func(w io.Writer) (uint64, error)
+	// Logf, when set, receives subscriber lifecycle events.
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	ring   []Delta // oldest first; len ≤ retain
+	retain int
+	cur    uint64 // last published epoch (boot epoch before any Publish)
+	closed bool
+	subs   map[chan Delta]struct{}
+
+	deltasSent      atomic.Uint64
+	snapshotsServed atomic.Uint64
+}
+
+// NewPublisher returns a publisher whose stream starts after epoch — the
+// registry's epoch at boot, before any journal replay. retain ≤ 0 selects
+// DefaultRetain.
+func NewPublisher(epoch uint64, retain int) *Publisher {
+	if retain <= 0 {
+		retain = DefaultRetain
+	}
+	return &Publisher{
+		retain: retain,
+		cur:    epoch,
+		subs:   make(map[chan Delta]struct{}),
+	}
+}
+
+// Publish retains one epoch delta and fans it out. Epochs must arrive
+// strictly increasing (the apply lock guarantees it); a publish after Close
+// is dropped.
+func (p *Publisher) Publish(epoch uint64, ops []transit.DelayOp, touched []transit.TouchedConn) {
+	d := Delta{Epoch: epoch, Ops: ops, Touched: touched}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.cur = epoch
+	p.ring = append(p.ring, d)
+	if len(p.ring) > p.retain {
+		p.ring = p.ring[len(p.ring)-p.retain:]
+	}
+	for ch := range p.subs {
+		select {
+		case ch <- d:
+		default:
+			// Subscriber fell subBuffer deltas behind: cut it loose rather
+			// than block the apply path. It reconnects and replays the gap
+			// from the ring (or the snapshot, if it stays away too long).
+			delete(p.subs, ch)
+			close(ch)
+			p.logf("replica: dropping subscriber %d deltas behind", subBuffer)
+		}
+	}
+}
+
+// Epoch returns the last published epoch.
+func (p *Publisher) Epoch() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cur
+}
+
+// Floor returns the oldest epoch a stream can resume from: the oldest
+// retained delta's epoch, or just past the current epoch when nothing is
+// retained yet.
+func (p *Publisher) Floor() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.floorLocked()
+}
+
+func (p *Publisher) floorLocked() uint64 {
+	if len(p.ring) == 0 {
+		return p.cur + 1
+	}
+	return p.ring[0].Epoch
+}
+
+// Subscribers returns the number of connected stream subscribers. Nil-safe:
+// a server without replication reports 0.
+func (p *Publisher) Subscribers() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.subs)
+}
+
+// DeltasSent returns the total deltas written to stream subscribers
+// (backlog replays included). Nil-safe.
+func (p *Publisher) DeltasSent() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.deltasSent.Load()
+}
+
+// SnapshotsServed returns the total full-snapshot downloads served.
+// Nil-safe.
+func (p *Publisher) SnapshotsServed() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.snapshotsServed.Load()
+}
+
+// Close disconnects every subscriber and rejects future ones. Publishes
+// after Close are dropped. Call before http.Server.Shutdown — the streams
+// are long-lived requests Shutdown would otherwise wait out.
+func (p *Publisher) Close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for ch := range p.subs {
+		delete(p.subs, ch)
+		close(ch)
+	}
+}
+
+// subscribe registers a new subscriber wanting deltas from epoch `from` on,
+// returning its live channel plus the retained backlog in [from, cur]. The
+// single lock section makes the hand-off exact: the backlog ends where the
+// channel begins, no delta lost or duplicated. ok=false means from is below
+// the retention floor (caller answers 410) or the publisher is closed.
+func (p *Publisher) subscribe(from uint64) (ch chan Delta, backlog []Delta, cur uint64, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || from < p.floorLocked() {
+		return nil, nil, p.cur, false
+	}
+	for _, d := range p.ring {
+		if d.Epoch >= from {
+			backlog = append(backlog, d)
+		}
+	}
+	ch = make(chan Delta, subBuffer)
+	p.subs[ch] = struct{}{}
+	return ch, backlog, p.cur, true
+}
+
+// unsubscribe removes ch if the publisher still owns it (Publish or Close
+// may already have cut it loose — then the map no longer holds it and the
+// channel is already closed).
+func (p *Publisher) unsubscribe(ch chan Delta) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, mine := p.subs[ch]; mine {
+		delete(p.subs, ch)
+		close(ch)
+	}
+}
+
+// ServeStream handles GET /v1/replication/stream?from=<epoch>: an unbounded
+// response of CRC-framed deltas — one hello frame announcing the current
+// epoch, the retained backlog from <epoch> on, then every future delta as
+// it is published, each frame flushed immediately. Ends only when the
+// client goes away, the subscriber falls too far behind, or the publisher
+// closes. A from below the retention floor gets 410 Gone (fetch the full
+// snapshot instead); a from beyond the current epoch + 1 gets 416 (the
+// client knows a future this updater never published).
+func (p *Publisher) ServeStream(w http.ResponseWriter, r *http.Request) {
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		http.Error(w, "replication: bad or missing from=<epoch>", http.StatusBadRequest)
+		return
+	}
+	if cur := p.Epoch(); from > cur+1 {
+		http.Error(w, "replication: requested epoch beyond updater's "+strconv.FormatUint(cur, 10),
+			http.StatusRequestedRangeNotSatisfiable)
+		return
+	}
+	ch, backlog, cur, ok := p.subscribe(from)
+	if !ok {
+		http.Error(w, "replication: epoch beyond delta retention, fetch /v1/replication/snapshot",
+			http.StatusGone)
+		return
+	}
+	defer p.unsubscribe(ch)
+
+	// The stream outlives any server write timeout by design; clear the
+	// deadline for this response only. (No-op error for plain recorders.)
+	http.NewResponseController(w).SetWriteDeadline(time.Time{})
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	send := func(payload []byte) bool {
+		if _, err := w.Write(wal.AppendFrame(nil, payload)); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	if !send(encodeHello(cur)) {
+		return
+	}
+	for _, d := range backlog {
+		if !send(encodeDelta(d)) {
+			return
+		}
+		p.deltasSent.Add(1)
+	}
+	for {
+		select {
+		case d, open := <-ch:
+			if !open {
+				return // dropped as a laggard, or publisher closed
+			}
+			if !send(encodeDelta(d)) {
+				return
+			}
+			p.deltasSent.Add(1)
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// ServeSnapshot handles GET /v1/replication/snapshot: the current full
+// snapshot image, for cold boots and followers beyond delta retention.
+func (p *Publisher) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
+	if p.Snapshot == nil {
+		http.Error(w, "replication: snapshot serving not configured", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	if _, err := p.Snapshot(w); err != nil {
+		// Headers are gone; all we can do is cut the response so the
+		// client's LoadSnapshot fails its checksum instead of installing a
+		// torn image.
+		p.logf("replica: snapshot download failed mid-stream: %v", err)
+		return
+	}
+	p.snapshotsServed.Add(1)
+}
+
+func (p *Publisher) logf(format string, args ...any) {
+	if p.Logf != nil {
+		p.Logf(format, args...)
+	}
+}

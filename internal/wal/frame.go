@@ -1,0 +1,154 @@
+// The frame and entry codec, shared between the on-disk journal and the
+// replication stream (internal/replica): both carry DelayOp batches in the
+// same length-prefixed, CRC-32C-checked frames, so a replica's stream
+// reader and the journal's crash-recovery scan are the same code path.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+
+	"transit"
+)
+
+// ErrTorn reports a frame cut short, failing its checksum, or carrying an
+// absurd length prefix — what a crash mid-append (or a dropped connection
+// mid-stream) leaves behind. Readers stop at the first torn frame; every
+// frame before it is intact by construction.
+var ErrTorn = errors.New("wal: torn frame")
+
+// AppendFrame appends payload to dst as one frame:
+//
+//	u32 payload length | u32 CRC-32C of payload | payload
+//
+// and returns the extended slice.
+func AppendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32Sum(payload))
+	return append(dst, payload...)
+}
+
+// ReadFrame reads one frame from r and returns its verified payload. A
+// clean end — EOF before the first byte of the frame — returns io.EOF; a
+// frame cut short, oversized, or failing its CRC returns ErrTorn.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var pre [8]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, ErrTorn
+	}
+	length := binary.LittleEndian.Uint32(pre[0:4])
+	want := binary.LittleEndian.Uint32(pre[4:8])
+	if length == 0 || length > maxFrame {
+		return nil, ErrTorn
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, ErrTorn
+	}
+	if crc32Sum(payload) != want {
+		return nil, ErrTorn
+	}
+	return payload, nil
+}
+
+// EncodeEntry serializes one journaled batch:
+//
+//	u64 epoch | u32 nops | nops × op
+//	op: u16 len(Train) | Train | u32 len(Routes) | Routes as i32s
+//	    i32 WindowFrom | i32 WindowTo | i32 Delay | u8 Cancel
+func EncodeEntry(e Entry) []byte {
+	n := 8 + 4
+	for _, op := range e.Ops {
+		n += 2 + len(op.Train) + 4 + 4*len(op.Routes) + 4 + 4 + 4 + 1
+	}
+	buf := make([]byte, 0, n)
+	buf = binary.LittleEndian.AppendUint64(buf, e.Epoch)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Ops)))
+	for _, op := range e.Ops {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(op.Train)))
+		buf = append(buf, op.Train...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(op.Routes)))
+		for _, r := range op.Routes {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(r)))
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(op.WindowFrom)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(op.WindowTo)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(op.Delay)))
+		var c byte
+		if op.Cancel {
+			c = 1
+		}
+		buf = append(buf, c)
+	}
+	return buf
+}
+
+var errTruncated = errors.New("wal: truncated entry")
+
+// DecodeEntry decodes an EncodeEntry payload, requiring full consumption.
+func DecodeEntry(p []byte) (Entry, error) {
+	e, rest, err := DecodeEntryPrefix(p)
+	if err == nil && len(rest) != 0 {
+		return e, errTruncated
+	}
+	return e, err
+}
+
+// DecodeEntryPrefix decodes one entry from the front of p and returns the
+// unconsumed tail — the replication stream appends its touched-set block
+// after the entry inside one frame.
+func DecodeEntryPrefix(p []byte) (Entry, []byte, error) {
+	var e Entry
+	if len(p) < 12 {
+		return e, nil, errTruncated
+	}
+	e.Epoch = binary.LittleEndian.Uint64(p[0:8])
+	nops := binary.LittleEndian.Uint32(p[8:12])
+	p = p[12:]
+	if nops > maxFrame/16 {
+		return e, nil, errTruncated
+	}
+	e.Ops = make([]transit.DelayOp, 0, nops)
+	for i := uint32(0); i < nops; i++ {
+		var op transit.DelayOp
+		if len(p) < 2 {
+			return e, nil, errTruncated
+		}
+		tl := int(binary.LittleEndian.Uint16(p[0:2]))
+		p = p[2:]
+		if len(p) < tl {
+			return e, nil, errTruncated
+		}
+		op.Train = string(p[:tl])
+		p = p[tl:]
+		if len(p) < 4 {
+			return e, nil, errTruncated
+		}
+		nr := int(binary.LittleEndian.Uint32(p[0:4]))
+		p = p[4:]
+		if nr > len(p)/4 {
+			return e, nil, errTruncated
+		}
+		if nr > 0 {
+			op.Routes = make([]int, nr)
+			for k := 0; k < nr; k++ {
+				op.Routes[k] = int(int32(binary.LittleEndian.Uint32(p[4*k : 4*k+4])))
+			}
+			p = p[4*nr:]
+		}
+		if len(p) < 13 {
+			return e, nil, errTruncated
+		}
+		op.WindowFrom = transit.Ticks(int32(binary.LittleEndian.Uint32(p[0:4])))
+		op.WindowTo = transit.Ticks(int32(binary.LittleEndian.Uint32(p[4:8])))
+		op.Delay = transit.Ticks(int32(binary.LittleEndian.Uint32(p[8:12])))
+		op.Cancel = p[12] != 0
+		p = p[13:]
+		e.Ops = append(e.Ops, op)
+	}
+	return e, p, nil
+}

@@ -24,7 +24,6 @@
 package wal
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -45,6 +44,9 @@ var magic = [8]byte{'T', 'P', 'W', 'A', 'L', '\r', '\n', 0x01}
 const maxFrame = 16 << 20
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// crc32Sum is the frame checksum: CRC-32C over the payload.
+func crc32Sum(p []byte) uint32 { return crc32.Checksum(p, crcTable) }
 
 // ErrNotJournal reports a file that exists but does not start with the
 // journal magic — likely not ours, so Open refuses to touch it.
@@ -118,23 +120,11 @@ func scan(f faultfs.File) (*Journal, []Entry, error) {
 	j := &Journal{f: f, size: int64(len(magic))}
 	var entries []Entry
 	for {
-		var pre [8]byte
-		if _, err := io.ReadFull(f, pre[:]); err != nil {
-			break // EOF or torn length prefix: end of intact frames
+		payload, err := ReadFrame(f)
+		if err != nil {
+			break // EOF, or a torn frame: end of intact frames
 		}
-		length := binary.LittleEndian.Uint32(pre[0:4])
-		want := binary.LittleEndian.Uint32(pre[4:8])
-		if length == 0 || length > maxFrame {
-			break
-		}
-		payload := make([]byte, length)
-		if _, err := io.ReadFull(f, payload); err != nil {
-			break // torn payload
-		}
-		if crc32.Checksum(payload, crcTable) != want {
-			break // bit rot or torn rewrite
-		}
-		e, err := decodeEntry(payload)
+		e, err := DecodeEntry(payload)
 		if err != nil {
 			break
 		}
@@ -163,11 +153,7 @@ func (j *Journal) Append(epoch uint64, ops []transit.DelayOp) error {
 	if epoch <= j.last {
 		return fmt.Errorf("wal: epoch %d not beyond journaled %d", epoch, j.last)
 	}
-	payload := encodeEntry(Entry{Epoch: epoch, Ops: ops})
-	frame := make([]byte, 8+len(payload))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
-	copy(frame[8:], payload)
+	frame := AppendFrame(nil, EncodeEntry(Entry{Epoch: epoch, Ops: ops}))
 	if _, err := j.f.Write(frame); err != nil {
 		j.repair()
 		return err
@@ -235,88 +221,4 @@ func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.f.Close()
-}
-
-func encodeEntry(e Entry) []byte {
-	n := 8 + 4
-	for _, op := range e.Ops {
-		n += 2 + len(op.Train) + 4 + 4*len(op.Routes) + 4 + 4 + 4 + 1
-	}
-	buf := make([]byte, 0, n)
-	buf = binary.LittleEndian.AppendUint64(buf, e.Epoch)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Ops)))
-	for _, op := range e.Ops {
-		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(op.Train)))
-		buf = append(buf, op.Train...)
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(op.Routes)))
-		for _, r := range op.Routes {
-			buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(r)))
-		}
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(op.WindowFrom)))
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(op.WindowTo)))
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(op.Delay)))
-		var c byte
-		if op.Cancel {
-			c = 1
-		}
-		buf = append(buf, c)
-	}
-	return buf
-}
-
-var errTruncated = errors.New("wal: truncated entry")
-
-func decodeEntry(p []byte) (Entry, error) {
-	var e Entry
-	if len(p) < 12 {
-		return e, errTruncated
-	}
-	e.Epoch = binary.LittleEndian.Uint64(p[0:8])
-	nops := binary.LittleEndian.Uint32(p[8:12])
-	p = p[12:]
-	if nops > maxFrame/16 {
-		return e, errTruncated
-	}
-	e.Ops = make([]transit.DelayOp, 0, nops)
-	for i := uint32(0); i < nops; i++ {
-		var op transit.DelayOp
-		if len(p) < 2 {
-			return e, errTruncated
-		}
-		tl := int(binary.LittleEndian.Uint16(p[0:2]))
-		p = p[2:]
-		if len(p) < tl {
-			return e, errTruncated
-		}
-		op.Train = string(p[:tl])
-		p = p[tl:]
-		if len(p) < 4 {
-			return e, errTruncated
-		}
-		nr := int(binary.LittleEndian.Uint32(p[0:4]))
-		p = p[4:]
-		if nr > len(p)/4 {
-			return e, errTruncated
-		}
-		if nr > 0 {
-			op.Routes = make([]int, nr)
-			for k := 0; k < nr; k++ {
-				op.Routes[k] = int(int32(binary.LittleEndian.Uint32(p[4*k : 4*k+4])))
-			}
-			p = p[4*nr:]
-		}
-		if len(p) < 13 {
-			return e, errTruncated
-		}
-		op.WindowFrom = transit.Ticks(int32(binary.LittleEndian.Uint32(p[0:4])))
-		op.WindowTo = transit.Ticks(int32(binary.LittleEndian.Uint32(p[4:8])))
-		op.Delay = transit.Ticks(int32(binary.LittleEndian.Uint32(p[8:12])))
-		op.Cancel = p[12] != 0
-		p = p[13:]
-		e.Ops = append(e.Ops, op)
-	}
-	if len(p) != 0 {
-		return e, errTruncated
-	}
-	return e, nil
 }
